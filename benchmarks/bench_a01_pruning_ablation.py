@@ -1,0 +1,89 @@
+"""A1 (ablation) — certain-violation pruning in the pattern search.
+
+DESIGN.md calls out the pattern-search pruning as the load-bearing design
+choice of the symbolic engine: partial patterns whose concrete cells
+already violate a dependency (for every concretization of the unknowns)
+are cut.  This ablation runs `max_fresh` with and without the pruning on
+the worlds where it matters — heavily-revealed worlds of a redundant
+instance — and checks the results are identical while the work is not.
+
+Expected shape: identical (d, c) outputs; the pruned search visits the
+forced worlds orders of magnitude faster as the instance grows.
+"""
+
+import time
+
+from repro.core.patterns import max_fresh
+from repro.core.positions import PositionedInstance
+from repro.core.worlds import World
+from repro.dependencies import FD
+from repro.relational import Relation, RelationSchema
+
+from benchmarks.common import print_table
+
+
+def forced_world(n_rows: int):
+    """A world of the CSZ-style redundant instance with everything
+    revealed except the measured C slot and one row's cells."""
+    schema = RelationSchema("R", ("C", "S", "Z"))
+    rows = [(1, 10 + i, 5) for i in range(n_rows)]
+    inst = PositionedInstance.from_relation(
+        Relation(schema, rows), [FD("SZ", "C"), FD("Z", "C")]
+    )
+    p = inst.position("R", 0, "C")
+    hidden = {inst.position("R", n_rows - 1, a) for a in ("S", "Z")}
+    revealed = frozenset(q for q in inst.positions if q != p and q not in hidden)
+    return World(inst, p, revealed)
+
+
+def _time_all_classes(world, prune):
+    start = time.perf_counter()
+    results = [
+        max_fresh(world, candidate, prune=prune)
+        for candidate in world.candidate_classes()
+    ]
+    return results, time.perf_counter() - start
+
+
+def test_a1_table(benchmark):
+    def run():
+        rows = []
+        for n in (2, 3, 4):
+            world = forced_world(n)
+            pruned, t_on = _time_all_classes(world, prune=True)
+            plain, t_off = _time_all_classes(world, prune=False)
+            assert pruned == plain  # the ablation must not change results
+            rows.append(
+                (
+                    n,
+                    f"{t_on * 1e3:.2f} ms",
+                    f"{t_off * 1e3:.2f} ms",
+                    f"{t_off / max(t_on, 1e-9):.1f}x",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "A1: pattern search with/without certain-violation pruning",
+        ["rows", "pruned", "unpruned", "speedup"],
+        rows,
+    )
+    # Pruning must never lose, and must win clearly on the largest case.
+    assert float(rows[-1][3].rstrip("x")) > 1.0
+
+
+def test_a1_pruned_kernel(benchmark):
+    world = forced_world(3)
+    benchmark(lambda: [max_fresh(world, c) for c in world.candidate_classes()])
+
+
+def test_a1_unpruned_kernel(benchmark):
+    world = forced_world(3)
+    benchmark.pedantic(
+        lambda: [
+            max_fresh(world, c, prune=False) for c in world.candidate_classes()
+        ],
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,54 @@
+"""E1 — The paper's running example, measured exactly.
+
+Regenerates the worked example of the honored paper: the non-BCNF schema
+``R(A, B, C)`` with ``B → C`` on the two-tuple instance that copies the
+``(B, C)`` pair.  Reported rows: exact ``INF^k / log2 k`` for growing
+``k`` and the exact limit ``RIC`` per position class.
+
+Expected shape (paper, analytical): the duplicated ``C`` positions sit
+strictly below 1 and converge to the rational limit 7/8; key positions
+sit at 1.
+"""
+
+import math
+from fractions import Fraction
+
+from benchmarks.common import fmt_frac, print_table
+from repro.core import PositionedInstance, inf_k, ric
+from repro.workloads.relational_gen import paper_example_instance
+
+
+def positioned():
+    relation, fds = paper_example_instance()
+    return PositionedInstance.from_relation(relation, fds)
+
+
+def test_e1_table(benchmark):
+    inst = positioned()
+    p_red = inst.position("R", 0, "C")
+    p_key = inst.position("R", 0, "A")
+
+    rows = []
+    for k in (5, 6, 8, 10, 12):
+        ratio_red = inf_k(inst, p_red, k) / math.log2(k)
+        ratio_key = inf_k(inst, p_key, k) / math.log2(k)
+        rows.append((k, f"{ratio_red:.4f}", f"{ratio_key:.4f}"))
+
+    limit_red = benchmark(lambda: ric(inst, p_red))  # the timed kernel
+    limit_key = ric(inst, p_key)
+    rows.append(("limit", fmt_frac(limit_red), fmt_frac(limit_key)))
+
+    print_table(
+        "E1: INF^k/log2(k) on the paper's example (B->C, duplicated pair)",
+        ["k", "redundant C position", "key A position"],
+        rows,
+    )
+    assert limit_red == Fraction(7, 8)
+    assert limit_key == 1
+
+
+def test_e1_finite_k_kernel(benchmark):
+    inst = positioned()
+    p = inst.position("R", 0, "C")
+    value = benchmark(lambda: inf_k(inst, p, 10))
+    assert 0 < value < math.log2(10)

@@ -1,0 +1,71 @@
+"""E5 — Normalization never loses information content.
+
+The paper's justification of normalization algorithms: decomposition
+steps can only raise the information content of positions.  Measured here
+for BCNF decompositions across a family of redundant designs: the table
+reports min/avg RIC before and after; both gains must be >= 0, with
+strict improvement whenever the original design was not well-designed.
+"""
+
+from repro.core.gains import normalization_gain
+from repro.dependencies import FD
+from repro.normalforms import bcnf_decompose
+from repro.relational import Relation, RelationSchema
+
+from benchmarks.common import print_table
+
+CASES = [
+    (
+        "transitive",
+        "ABC",
+        [FD("B", "C")],
+        Relation(RelationSchema("R", ("A", "B", "C")), [(1, 2, 3), (4, 2, 3)]),
+    ),
+    (
+        "chain",
+        "ABC",
+        [FD("A", "B"), FD("B", "C")],
+        Relation(RelationSchema("R", ("A", "B", "C")), [(1, 2, 3), (4, 2, 3)]),
+    ),
+    (
+        "already-bcnf",
+        "ABC",
+        [FD("A", "BC")],
+        Relation(RelationSchema("R", ("A", "B", "C")), [(1, 2, 3), (4, 5, 6)]),
+    ),
+]
+
+
+def test_e5_table(benchmark):
+    def run():
+        rows = []
+        for name, universe, fds, instance in CASES:
+            fragments = bcnf_decompose(universe, fds)
+            report = normalization_gain(instance, fds, fragments)
+            rows.append(
+                (
+                    name,
+                    f"{float(report.before_min):.4f}",
+                    f"{float(report.after_min):.4f}",
+                    f"{float(report.before_avg):.4f}",
+                    f"{float(report.after_avg):.4f}",
+                    report.min_gain >= 0 and report.avg_gain >= 0,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E5: information gain of BCNF decomposition",
+        ["case", "min before", "min after", "avg before", "avg after", "no loss"],
+        rows,
+    )
+    assert all(row[5] for row in rows)
+    # Strict improvement for the redundant designs, exact 1.0 after.
+    assert rows[0][2] == "1.0000" and rows[1][2] == "1.0000"
+    assert float(rows[0][1]) < 1.0
+
+
+def test_e5_decomposition_kernel(benchmark):
+    frags = benchmark(lambda: bcnf_decompose("ABCD", [FD("A", "B"), FD("B", "C")]))
+    assert len(frags) >= 2

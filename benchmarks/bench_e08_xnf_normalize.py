@@ -1,0 +1,85 @@
+"""E8 — The XNF normalization algorithm: convergence and document effect.
+
+Runs the two rewrite rules over a family of designs and documents of
+growing size.  Reported: rule applications to reach XNF, attribute slots
+before/after (the space the redundancy cost), and the wall-clock of the
+algorithm (the timed kernel).
+
+Expected shape: one step for the DBLP family (move-attribute), one step
+for the relational-style family (create-element); slots strictly shrink
+whenever papers-per-issue > 1; normalized designs pass ``is_xnf``.
+"""
+
+from repro.workloads.xml_gen import dblp_document, dblp_dtd, dblp_xfds
+from repro.xml import is_xnf, normalize_to_xnf
+from repro.xml.dtd import DTD, ElementDecl
+from repro.xml.paths import elem_path
+from repro.xml.tree import XNode
+from repro.xml.xfd import XFD
+
+from benchmarks.common import print_table
+
+
+def relational_design(n_rows: int):
+    dtd = DTD(
+        "db",
+        {
+            "db": ElementDecl([("t", "*")]),
+            "t": ElementDecl([], attrs=["A", "B", "C"]),
+        },
+    )
+    t = elem_path("db", "t")
+    sigma = [XFD([t.attribute("A")], t.attribute("B"))]
+    doc = XNode("db")
+    for i in range(n_rows):
+        group = i % 2
+        doc.add(XNode("t", {"A": group, "B": 10 + group, "C": i}))
+    return dtd, sigma, doc
+
+
+def test_e8_table(benchmark):
+    cases = [
+        ("dblp 1x1x2", dblp_dtd(), dblp_xfds(), dblp_document(1, 1, 2)),
+        ("dblp 2x2x3", dblp_dtd(), dblp_xfds(), dblp_document(2, 2, 3)),
+        ("dblp 3x3x4", dblp_dtd(), dblp_xfds(), dblp_document(3, 3, 4)),
+        ("relational n=4", *relational_design(4)),
+        ("relational n=8", *relational_design(8)),
+    ]
+
+    def run():
+        rows = []
+        for name, dtd, sigma, doc in cases:
+            before_slots = doc.attr_count()
+            result = normalize_to_xnf(dtd, sigma, doc)
+            assert is_xnf(result.dtd, result.sigma)
+            rows.append(
+                (
+                    name,
+                    len(result.steps),
+                    before_slots,
+                    result.doc.attr_count(),
+                    result.steps[0].split(" ")[0],
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E8: XNF normalization",
+        ["design", "steps", "slots before", "slots after", "rule"],
+        rows,
+    )
+    for name, steps, before, after, rule in rows:
+        assert steps == 1
+        if "dblp" in name:
+            assert rule == "move"
+            assert after < before
+        else:
+            assert rule == "create"
+
+
+def test_e8_normalize_kernel(benchmark):
+    dtd, sigma = dblp_dtd(), dblp_xfds()
+    doc = dblp_document(3, 3, 4)
+    result = benchmark(lambda: normalize_to_xnf(dtd, sigma, doc.copy()))
+    assert is_xnf(result.dtd, result.sigma)

@@ -1,0 +1,84 @@
+"""E11 — Chase performance: implication and lossless-join tests.
+
+Times the chase-based decision procedures as the schema (attribute count
+and dependency count) grows.  The chase is the workhorse behind 4NF
+testing, dependency projection, and all lossless-join checks.
+
+Expected shape: low-degree polynomial growth for FD implication; MVD
+implication more expensive (tuple-generating steps) but still far from
+the exponential closure enumeration it replaces.
+"""
+
+import string
+import time
+
+from repro.chase import implies, is_lossless
+from repro.dependencies import FD, MVD
+from repro.workloads.relational_gen import random_fds
+
+from benchmarks.common import print_table
+
+
+def chain_fds(n: int):
+    attrs = string.ascii_uppercase[: n + 1]
+    return [FD(attrs[i], attrs[i + 1]) for i in range(n)], attrs
+
+
+def test_e11_table(benchmark):
+    def run():
+        rows = []
+        for n in (4, 8, 12):
+            fds, attrs = chain_fds(n)
+            start = time.perf_counter()
+            ok = implies(fds, FD(attrs[0], attrs[-1]), universe=attrs)
+            fd_time = time.perf_counter() - start
+            assert ok
+
+            mvds = [MVD(attrs[0], attrs[1 : n // 2 + 1])]
+            start = time.perf_counter()
+            implies(mvds, MVD(attrs[0], attrs[n // 2 + 1 :]), universe=attrs)
+            mvd_time = time.perf_counter() - start
+
+            start = time.perf_counter()
+            lossless = is_lossless(
+                attrs,
+                [attrs[: n // 2 + 1], attrs[n // 2 :]],
+                fds,
+            )
+            ll_time = time.perf_counter() - start
+
+            rows.append(
+                (
+                    n + 1,
+                    f"{fd_time * 1e3:.2f} ms",
+                    f"{mvd_time * 1e3:.2f} ms",
+                    f"{ll_time * 1e3:.2f} ms",
+                    lossless,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E11: chase-based decisions vs schema width",
+        ["attributes", "FD implication", "MVD implication", "lossless test", "lossless?"],
+        rows,
+    )
+
+
+def test_e11_fd_implication_kernel(benchmark):
+    fds, attrs = chain_fds(10)
+    assert benchmark(lambda: implies(fds, FD(attrs[0], attrs[-1]), universe=attrs))
+
+
+def test_e11_mvd_implication_kernel(benchmark):
+    assert benchmark(
+        lambda: implies(
+            [MVD("A", "BC"), MVD("A", "B")], MVD("A", "C"), universe="ABCDE"
+        )
+    )
+
+
+def test_e11_lossless_kernel(benchmark):
+    fds = random_fds("ABCDEF", 4, seed=2)
+    benchmark(lambda: is_lossless("ABCDEF", ["ABCD", "CDEF"], fds))

@@ -1,0 +1,76 @@
+"""E12 — The classical FD toolchain: closure, covers, keys.
+
+Times the Beeri–Bernstein closure, minimal-cover computation, and
+candidate-key search against growing random FD workloads — the substrate
+every normal-form test in the library leans on.
+
+Expected shape: closure essentially linear in the FD count; minimal cover
+quadratic-ish (per-FD closure recomputation); key search fast on the
+pruned middle attributes, exponential only in pathological key lattices.
+"""
+
+import string
+import time
+
+from repro.dependencies import (
+    attribute_closure,
+    candidate_keys,
+    minimal_cover,
+)
+from repro.workloads.relational_gen import random_fds
+
+from benchmarks.common import print_table
+
+
+def test_e12_table(benchmark):
+    def run():
+        rows = []
+        for n_attrs, n_fds in ((4, 6), (6, 12), (8, 24), (10, 40)):
+            universe = string.ascii_uppercase[:n_attrs]
+            fds = random_fds(universe, n_fds, seed=n_fds)
+
+            start = time.perf_counter()
+            for _ in range(50):
+                attribute_closure(universe[0], fds)
+            closure_time = (time.perf_counter() - start) / 50
+
+            start = time.perf_counter()
+            cover = minimal_cover(fds)
+            cover_time = time.perf_counter() - start
+
+            start = time.perf_counter()
+            keys = candidate_keys(universe, fds)
+            keys_time = time.perf_counter() - start
+
+            rows.append(
+                (
+                    n_attrs,
+                    n_fds,
+                    f"{closure_time * 1e6:.0f} us",
+                    f"{cover_time * 1e3:.2f} ms ({len(cover)} FDs)",
+                    f"{keys_time * 1e3:.2f} ms ({len(keys)} keys)",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E12: FD toolchain scaling",
+        ["attrs", "FDs", "closure", "minimal cover", "candidate keys"],
+        rows,
+    )
+
+
+def test_e12_closure_kernel(benchmark):
+    fds = random_fds("ABCDEFGHIJ", 40, seed=40)
+    benchmark(lambda: attribute_closure("A", fds))
+
+
+def test_e12_cover_kernel(benchmark):
+    fds = random_fds("ABCDEFGH", 24, seed=24)
+    benchmark(lambda: minimal_cover(fds))
+
+
+def test_e12_keys_kernel(benchmark):
+    fds = random_fds("ABCDEFGH", 24, seed=24)
+    benchmark(lambda: candidate_keys("ABCDEFGH", fds))

@@ -1,0 +1,91 @@
+"""E13 — RPQ evaluation: product construction vs naive path enumeration.
+
+The Mendelzon-legacy experiment: evaluates regular path queries with the
+linear-time product construction and with the naive bounded path
+enumeration, over growing random graphs.
+
+Expected shape: the product construction wins by orders of magnitude and
+the gap widens with graph size; the naive answers (a subset, bounded by
+path length) are always contained in the exact ones — who wins never
+flips.
+"""
+
+import time
+
+from repro.graph import rpq_eval_naive, rpq_pairs, simple_path_pairs
+from repro.workloads.graph_gen import cycle_graph, random_graph
+
+from benchmarks.common import print_table
+
+QUERY = "a.(b)*"
+
+
+def test_e13_table(benchmark):
+    def run():
+        rows = []
+        for n_nodes, n_edges in ((6, 10), (10, 20), (14, 30)):
+            graph = random_graph(n_nodes, n_edges, labels=("a", "b"), seed=n_nodes)
+
+            start = time.perf_counter()
+            product = rpq_pairs(graph, QUERY)
+            product_time = time.perf_counter() - start
+
+            start = time.perf_counter()
+            naive = rpq_eval_naive(graph, QUERY, max_length=7)
+            naive_time = time.perf_counter() - start
+
+            assert naive <= product
+            speedup = naive_time / max(product_time, 1e-9)
+            rows.append(
+                (
+                    f"{n_nodes}/{n_edges}",
+                    len(product),
+                    f"{product_time * 1e3:.2f} ms",
+                    f"{naive_time * 1e3:.2f} ms",
+                    f"{speedup:.0f}x",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        f"E13: RPQ '{QUERY}' — product automaton vs naive enumeration",
+        ["nodes/edges", "answers", "product", "naive (len<=7)", "speedup"],
+        rows,
+    )
+    # The product construction must win on the largest graph.
+    assert float(rows[-1][4].rstrip("x")) > 1
+
+
+def test_e13_simple_path_hardness_shape(benchmark):
+    """Simple-path semantics: exact backtracking cost grows quickly on
+    cycles — the NP-hard regime Mendelzon & Wood identified."""
+
+    def run():
+        rows = []
+        for n in (4, 6, 8):
+            graph = cycle_graph(n)
+            start = time.perf_counter()
+            pairs = simple_path_pairs(graph, "(a.a)*")
+            elapsed = time.perf_counter() - start
+            rows.append((n, len(pairs), f"{elapsed * 1e3:.2f} ms"))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E13b: simple-path (a.a)* on cycles",
+        ["cycle length", "answers", "time"],
+        rows,
+    )
+
+
+def test_e13_product_kernel(benchmark):
+    graph = random_graph(20, 50, labels=("a", "b"), seed=1)
+    benchmark(lambda: rpq_pairs(graph, QUERY))
+
+
+def test_e13_naive_kernel(benchmark):
+    graph = random_graph(8, 14, labels=("a", "b"), seed=1)
+    benchmark.pedantic(
+        lambda: rpq_eval_naive(graph, QUERY, max_length=6), rounds=2, iterations=1
+    )

@@ -1,0 +1,100 @@
+"""E14 — GraphLog via Datalog: semi-naive vs naive evaluation.
+
+Translates a transitive-closure-style GraphLog query to Datalog and
+evaluates it bottom-up with both strategies over growing chains and
+random graphs.
+
+Expected shape: identical models; semi-naive wall-clock grows much more
+slowly (each round touches only delta facts) — the classical result the
+translation inherits.
+"""
+
+import time
+
+from repro.datalog import Atom, Program, Rule, evaluate, evaluate_naive
+from repro.graph.graphlog import GraphLogEdge, GraphLogQuery, graph_edb, graphlog_to_datalog
+from repro.workloads.graph_gen import chain_graph, random_graph
+
+from benchmarks.common import print_table
+
+
+def tc_program() -> Program:
+    prog = Program()
+    prog.add(Rule(Atom("tc", ["X", "Y"]), [Atom("e", ["X", "Y"])]))
+    prog.add(
+        Rule(
+            Atom("tc", ["X", "Z"]),
+            [Atom("tc", ["X", "Y"]), Atom("e", ["Y", "Z"])],
+        )
+    )
+    return prog
+
+
+def test_e14_table(benchmark):
+    def run():
+        rows = []
+        for n in (12, 24, 48):
+            edb = {"e": {(i, i + 1) for i in range(n)}}
+
+            start = time.perf_counter()
+            semi = evaluate(tc_program(), edb)
+            semi_time = time.perf_counter() - start
+
+            start = time.perf_counter()
+            naive = evaluate_naive(tc_program(), edb)
+            naive_time = time.perf_counter() - start
+
+            assert semi["tc"] == naive["tc"]
+            rows.append(
+                (
+                    n,
+                    len(semi["tc"]),
+                    f"{semi_time * 1e3:.1f} ms",
+                    f"{naive_time * 1e3:.1f} ms",
+                    f"{naive_time / max(semi_time, 1e-9):.1f}x",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E14: transitive closure on a chain — semi-naive vs naive",
+        ["chain length", "tc facts", "semi-naive", "naive", "naive/semi"],
+        rows,
+    )
+    # Naive must lose ground as the chain grows.
+    ratios = [float(r[4].rstrip("x")) for r in rows]
+    assert ratios[-1] > 1.0
+
+
+def test_e14_graphlog_translation_agrees(benchmark):
+    def run():
+        results = []
+        for seed in (0, 1):
+            graph = random_graph(8, 16, labels=("a",), seed=seed)
+            query = GraphLogQuery(
+                [GraphLogEdge("X", "a+", "Y")], output=("X", "Y")
+            )
+            program, answer = graphlog_to_datalog(query)
+            edb = graph_edb(graph)
+            semi = evaluate(program, edb).get(answer, set())
+            naive = evaluate_naive(program, edb).get(answer, set())
+            results.append(semi == naive)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(results)
+
+
+def test_e14_seminaive_kernel(benchmark):
+    edb = {"e": {(i, i + 1) for i in range(40)}}
+    benchmark.pedantic(
+        lambda: evaluate(tc_program(), edb), rounds=2, iterations=1
+    )
+
+
+def test_e14_naive_kernel(benchmark):
+    edb = {"e": {(i, i + 1) for i in range(40)}}
+    benchmark.pedantic(
+        lambda: evaluate_naive(tc_program(), edb), rounds=2, iterations=1
+    )

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Graph queries: the Mendelzon legacy on a small social/citation graph.
+
+Demonstrates regular path queries (with inverses), simple-path semantics,
+conjunctive RPQs, and a GraphLog query evaluated via its Datalog
+translation — the query-language line of work the Test-of-Time award's
+namesake pioneered.
+
+Run:  python examples/graph_queries.py
+"""
+
+from repro.graph import (
+    CRPQ,
+    GraphDB,
+    GraphLogEdge,
+    GraphLogQuery,
+    RPQAtom,
+    crpq_eval,
+    graphlog_eval,
+    rpq_pairs,
+    simple_path_pairs,
+)
+
+
+def build_graph() -> GraphDB:
+    """People, employers, and citations."""
+    return GraphDB.from_edges(
+        [
+            ("ada", "knows", "bob"),
+            ("bob", "knows", "cyd"),
+            ("cyd", "knows", "ada"),
+            ("cyd", "knows", "dan"),
+            ("ada", "works_at", "acme"),
+            ("bob", "works_at", "acme"),
+            ("dan", "works_at", "globex"),
+            ("p1", "cites", "p2"),
+            ("p2", "cites", "p3"),
+            ("p3", "cites", "p1"),
+        ]
+    )
+
+
+def main() -> None:
+    graph = build_graph()
+    print(f"Graph: {len(graph)} nodes, {graph.edge_count()} edges")
+
+    print("\n1. RPQ — transitive acquaintance (knows+):")
+    for src, dst in sorted(rpq_pairs(graph, "knows+")):
+        print(f"   {src} ~> {dst}")
+
+    print("\n2. 2RPQ — colleagues via inverse (works_at.works_at-):")
+    colleagues = rpq_pairs(graph, "works_at.works_at-")
+    for src, dst in sorted(colleagues):
+        if src != dst:
+            print(f"   {src} <-> {dst}")
+
+    print("\n3. Simple-path semantics — even-length citation chains:")
+    unrestricted = rpq_pairs(graph, "(cites.cites)+")
+    simple = simple_path_pairs(graph, "(cites.cites)+")
+    print("   unrestricted:", sorted(p for p in unrestricted if p[0] == "p1"))
+    print("   simple paths:", sorted(p for p in simple if p[0] == "p1"))
+    print("   (the odd cycle makes the two semantics differ — the")
+    print("    NP-hardness phenomenon of Mendelzon & Wood)")
+
+    print("\n4. CRPQ — coworkers one of whom knows the other transitively:")
+    query = CRPQ(
+        [
+            RPQAtom("X", "works_at.works_at-", "Y"),
+            RPQAtom("X", "knows+", "Y"),
+        ],
+        output=("X", "Y"),
+    )
+    for x, y in sorted(crpq_eval(graph, query)):
+        if x != y:
+            print(f"   {x} knows coworker {y}")
+
+    print("\n5. GraphLog (via Datalog) — indirect-only acquaintances:")
+    gq = GraphLogQuery(
+        [
+            GraphLogEdge("X", "knows+", "Y"),
+            GraphLogEdge("X", "knows", "Y", negated=True),
+        ],
+        output=("X", "Y"),
+    )
+    for x, y in sorted(graphlog_eval(graph, gq)):
+        print(f"   {x} reaches {y} only indirectly")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""The price of 3NF: how much redundancy dependency preservation costs.
+
+The city/street/zip schema (``CS → Z``, ``Z → C``) is the classic design
+where BCNF and dependency preservation are incompatible.  Staying in 3NF
+keeps every constraint enforceable locally — but retains redundancy that
+this library can *quantify*: the copied city value's information content
+follows the closed form ``1/2 + (2/3)(3/4)^n`` in the group size ``n``,
+converging to exactly the Kolahi–Libkin lower bound of 1/2.
+
+Run:  python examples/price_of_3nf.py
+"""
+
+from repro.chase import preserves_dependencies
+from repro.core import PositionedInstance, ric
+from repro.normalforms import bcnf_decompose, is_3nf, is_bcnf, threenf_synthesize
+from repro.normalforms.price import (
+    CSZ_FDS,
+    THREENF_GUARANTEE,
+    csz_group_instance,
+    csz_ric_formula,
+)
+
+
+def main() -> None:
+    print("Schema R(C, S, Z) with CS -> Z and Z -> C")
+    print(f"  3NF:  {is_3nf('CSZ', CSZ_FDS)}")
+    print(f"  BCNF: {is_bcnf('CSZ', CSZ_FDS)}")
+
+    bcnf = bcnf_decompose("CSZ", CSZ_FDS)
+    threenf = threenf_synthesize("CSZ", CSZ_FDS)
+    print("\nThe dilemma:")
+    print(f"  BCNF decomposition {[str(f) for f in bcnf]} "
+          f"preserves dependencies: "
+          f"{preserves_dependencies(CSZ_FDS, [f.attributes for f in bcnf])}")
+    print(f"  3NF synthesis      {[str(f) for f in threenf]} "
+          f"preserves dependencies: "
+          f"{preserves_dependencies(CSZ_FDS, [f.attributes for f in threenf])}")
+
+    print("\nThe price, measured (exact rationals from the symbolic engine):")
+    print(f"  {'streets in one zip':>20}  {'RIC of the copied city':>24}  "
+          f"{'closed form':>12}")
+    for n in (2, 3, 4):
+        inst = PositionedInstance.from_relation(csz_group_instance(n), CSZ_FDS)
+        measured = ric(inst, inst.position("R", 0, "C"))
+        formula = csz_ric_formula(n)
+        assert measured == formula
+        print(f"  {n:>20}  {str(measured):>24}  {float(formula):>12.4f}")
+
+    print("\nExtrapolated by the verified closed form 1/2 + (2/3)(3/4)^n:")
+    for n in (6, 10, 20):
+        print(f"  {n:>20}  {'':>24}  {float(csz_ric_formula(n)):>12.4f}")
+
+    print(f"\nLimit: exactly {THREENF_GUARANTEE} — the Kolahi-Libkin bound; "
+          "3NF never wastes more than half of a slot's information,")
+    print("and this family shows the bound is tight.")
+
+
+if __name__ == "__main__":
+    main()

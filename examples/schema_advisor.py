@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Schema advisor: diagnose relational designs and propose repairs.
+
+A thin presentation layer over :func:`repro.advisor.advise` — feed it the
+compact design notation and it reports keys, normal-form membership, the
+information-theoretic severity of any redundancy (measured exactly on a
+canonical witness instance), and the repair options with their
+lossless/dependency-preservation trade-offs.
+
+Run:  python examples/schema_advisor.py
+"""
+
+from repro.advisor import advise
+
+DESIGNS = [
+    # The textbook transitive-dependency design.
+    "orders(A,B,C); B->C",
+    # The classic city/street/zip schema: 3NF but not BCNF — normalization
+    # must choose between redundancy and dependency preservation.
+    "addresses(C,S,Z); CS->Z; Z->C",
+    # Independent multivalued facts: courses with teachers and texts.
+    "courses(C,T,X); C->>T",
+    # A well-designed schema for contrast.
+    "accounts(A,B,C); A->BC",
+]
+
+
+def main() -> None:
+    for design in DESIGNS:
+        report = advise(design)
+        print("=" * 64)
+        print(report.summary())
+        if not report.well_designed:
+            severity = 1 - float(report.witness_ric)
+            print(f"  severity: {severity:.1%} of the witness slot's "
+                  "information is wasted")
+    print("=" * 64)
+
+
+if __name__ == "__main__":
+    main()

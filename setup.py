@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships a setuptools without the ``wheel`` package,
+so PEP 660 editable installs fail; this shim lets
+``pip install -e . --no-build-isolation`` (and plain ``pip install -e .``)
+fall back to the legacy ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

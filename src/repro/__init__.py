@@ -1,0 +1,46 @@
+"""repro — information-theoretic normal forms for relational and XML data.
+
+A full reproduction of the work honored by the ACM PODS Alberto O.
+Mendelzon Test-of-Time Award 2013 (Arenas & Libkin, "An
+Information-Theoretic Approach to Normal Forms for Relational and XML
+Data", PODS 2003), together with every substrate it stands on and a
+secondary package for Mendelzon's own graph-query-language legacy.
+
+Subpackages
+-----------
+- :mod:`repro.relational` — schemas, relations, relational algebra.
+- :mod:`repro.dependencies` — FDs, MVDs, JDs and the classical toolchain.
+- :mod:`repro.chase` — the chase; implication, lossless join, preservation.
+- :mod:`repro.normalforms` — 2NF/3NF/BCNF/4NF/PJNF and normalization.
+- :mod:`repro.core` — **the paper's measure**: positions, possible worlds,
+  exact/symbolic/Monte-Carlo engines, well-designedness, gains.
+- :mod:`repro.xml` — XML trees, DTDs, XFDs, XNF and its normalization.
+- :mod:`repro.graph` — RPQs/2RPQs/CRPQs, simple paths, GraphLog.
+- :mod:`repro.datalog` — stratified Datalog (naive & semi-naive).
+- :mod:`repro.workloads` — seeded generators for the experiments.
+
+Quickstart
+----------
+>>> from repro.relational import Relation, RelationSchema
+>>> from repro.dependencies import FD
+>>> from repro.core import PositionedInstance, ric
+>>> schema = RelationSchema("R", ("A", "B", "C"))
+>>> inst = PositionedInstance.from_relation(
+...     Relation(schema, [(1, 2, 3), (4, 2, 3)]), [FD("B", "C")])
+>>> ric(inst, inst.position("R", 0, "C"))
+Fraction(7, 8)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "relational",
+    "dependencies",
+    "chase",
+    "normalforms",
+    "core",
+    "xml",
+    "graph",
+    "datalog",
+    "workloads",
+]

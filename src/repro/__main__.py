@@ -1,0 +1,62 @@
+"""Command-line entry point: the schema advisor.
+
+Usage::
+
+    python -m repro "R(A,B,C); B->C"
+    python -m repro --no-measure "R(C,S,Z); CS->Z; Z->C"
+
+Prints the :class:`repro.advisor.DesignReport` summary for each design
+argument.  ``--no-measure`` skips the (exponential-sweep) exact witness
+measurement and reports the syntactic diagnosis only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.advisor import advise
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Diagnose relational designs with the information-theoretic "
+            "normal-form framework (Arenas-Libkin, PODS 2003)."
+        ),
+    )
+    parser.add_argument(
+        "designs",
+        nargs="+",
+        metavar="DESIGN",
+        help='design notation, e.g. "R(A,B,C); B->C; A->>B"',
+    )
+    parser.add_argument(
+        "--no-measure",
+        action="store_true",
+        help="skip the exact witness measurement (syntactic diagnosis only)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the advisor over each design; returns a process exit code
+    (0 = all designs well-designed, 1 = redundancy found, 2 = bad input)."""
+    args = build_parser().parse_args(argv)
+    any_redundant = False
+    for design in args.designs:
+        try:
+            report = advise(design, measure_witness=not args.no_measure)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report.summary())
+        any_redundant = any_redundant or not report.well_designed
+    return 1 if any_redundant else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

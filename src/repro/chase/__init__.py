@@ -1,0 +1,31 @@
+"""The chase: tableaux, the chase procedure, and the classical tests on top.
+
+The chase is the workhorse that makes the rest of the library trustworthy:
+
+- :mod:`repro.chase.tableau` — tableaux (relations over variables and
+  constants) and variable bookkeeping.
+- :mod:`repro.chase.engine` — the chase procedure itself, applying FDs as
+  equality-generating dependencies and MVDs/JDs as (full)
+  tuple-generating dependencies.  Full dependencies invent no fresh
+  values, so the chase always terminates.
+- :mod:`repro.chase.implication` — sound *and complete* implication for
+  arbitrary mixes of FDs, MVDs and JDs via canonical tableaux.
+- :mod:`repro.chase.lossless` — the lossless-join test for decompositions.
+- :mod:`repro.chase.preservation` — dependency preservation for FD sets.
+"""
+
+from repro.chase.tableau import Var, canonical_tableau
+from repro.chase.engine import ChaseResult, chase
+from repro.chase.implication import implies
+from repro.chase.lossless import is_lossless
+from repro.chase.preservation import preserves_dependencies
+
+__all__ = [
+    "Var",
+    "canonical_tableau",
+    "chase",
+    "ChaseResult",
+    "implies",
+    "is_lossless",
+    "preserves_dependencies",
+]

@@ -1,0 +1,208 @@
+"""The chase procedure for FDs (EGDs) and MVDs/JDs (full TGDs).
+
+The engine repeatedly fires dependency rules against a tableau until a
+fixpoint:
+
+- **FD** ``X → Y``: two rows agreeing on ``X`` but differing on some
+  ``A ∈ Y`` trigger a merge of the two differing values everywhere in the
+  tableau.  Merging prefers constants over variables; merging two distinct
+  constants makes the chase **inconsistent** (this is how the measure
+  engines detect that a partially-revealed instance admits no completion).
+- **MVD** ``X ↠ Y``: two rows agreeing on ``X`` require the witness row
+  mixing their ``Y`` and ``U − X − Y`` parts.
+- **JD** ``⋈[X1..Xn]``: any join-compatible combination of rows requires
+  the combined row.
+
+All three are *full* dependencies — no rule invents a fresh value — so the
+value pool is fixed and the chase terminates (EGD steps strictly shrink the
+pool; TGD steps strictly grow a subset of a finite row space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.chase.tableau import is_var
+from repro.dependencies.fd import FD
+from repro.dependencies.jd import JD
+from repro.dependencies.mvd import MVD
+from repro.relational.relation import Relation
+
+Dependency = Union[FD, MVD, JD]
+
+
+@dataclass(frozen=True)
+class ChaseResult:
+    """Outcome of a chase run.
+
+    Attributes
+    ----------
+    relation:
+        The chased tableau (meaningless if ``consistent`` is false).
+    consistent:
+        False iff an FD forced two distinct constants to be equal.
+    substitution:
+        Mapping from original values to their final representatives
+        (identity for untouched values).
+    steps:
+        Number of rule firings performed.
+    """
+
+    relation: Relation
+    consistent: bool
+    substitution: Dict[Any, Any]
+    steps: int
+
+    def apply(self, value: Any) -> Any:
+        """The final representative of *value* (follows merge chains)."""
+        while value in self.substitution:
+            value = self.substitution[value]
+        return value
+
+
+class _Inconsistent(Exception):
+    """Raised internally when two distinct constants must be equated."""
+
+
+def _merge_preference(first: Any, second: Any) -> Tuple[Any, Any]:
+    """Pick (winner, loser) for a merge; constants beat variables."""
+    first_var, second_var = is_var(first), is_var(second)
+    if first_var and not second_var:
+        return second, first
+    if second_var and not first_var:
+        return first, second
+    if not first_var and not second_var:
+        raise _Inconsistent()
+    # Both variables: deterministic choice by name.
+    return (first, second) if first.name <= second.name else (second, first)
+
+
+def _resolve(subst: Dict[Any, Any], value: Any) -> Any:
+    """Follow the substitution chain to the current representative."""
+    while value in subst:
+        value = subst[value]
+    return value
+
+
+def _apply_fd(
+    rows: List[tuple], fd: FD, schema, subst: Dict[Any, Any]
+) -> bool:
+    lhs_idx = [schema.index(a) for a in sorted(fd.lhs)]
+    rhs_idx = [schema.index(a) for a in sorted(fd.rhs)]
+    seen: Dict[tuple, tuple] = {}
+    for row in rows:
+        key = tuple(row[i] for i in lhs_idx)
+        val = tuple(row[i] for i in rhs_idx)
+        prior = seen.setdefault(key, val)
+        if prior != val:
+            for old, new in zip(val, prior):
+                old, new = _resolve(subst, old), _resolve(subst, new)
+                if old == new:
+                    continue
+                winner, loser = _merge_preference(old, new)
+                for j, r in enumerate(rows):
+                    if loser in r:
+                        rows[j] = tuple(winner if v == loser else v for v in r)
+                subst[loser] = winner
+            return True
+    return False
+
+
+def _apply_mvd(rows: List[tuple], mvd: MVD, schema) -> bool:
+    uni = schema.attrset
+    lhs = sorted(mvd.lhs & uni)
+    mid = sorted((mvd.rhs - mvd.lhs) & uni)
+    rest = sorted(uni - mvd.lhs - mvd.rhs)
+    lhs_idx = [schema.index(a) for a in lhs]
+    mid_idx = [schema.index(a) for a in mid]
+    rest_idx = [schema.index(a) for a in rest]
+
+    present = set(rows)
+    groups: Dict[tuple, List[tuple]] = {}
+    for row in rows:
+        groups.setdefault(tuple(row[i] for i in lhs_idx), []).append(row)
+
+    for group in groups.values():
+        for t1 in group:
+            for t2 in group:
+                witness = list(t2)
+                for i in mid_idx:
+                    witness[i] = t1[i]
+                witness_row = tuple(witness)
+                if witness_row not in present:
+                    rows.append(witness_row)
+                    return True
+    return False
+
+
+def _apply_jd(rows: List[tuple], jd: JD, schema) -> bool:
+    cols = schema.attributes
+    comp_idx = [
+        [schema.index(a) for a in sorted(comp & schema.attrset)]
+        for comp in jd.components
+    ]
+    comp_attrs = [sorted(comp & schema.attrset) for comp in jd.components]
+    present = set(rows)
+
+    for combo in product(rows, repeat=len(jd.components)):
+        cell: Dict[str, Any] = {}
+        compatible = True
+        for attrs, idxs, row in zip(comp_attrs, comp_idx, combo):
+            for a, i in zip(attrs, idxs):
+                if cell.setdefault(a, row[i]) != row[i]:
+                    compatible = False
+                    break
+            if not compatible:
+                break
+        if not compatible:
+            continue
+        if len(cell) != len(cols):
+            # JD components must cover the schema; enforced by callers.
+            continue
+        new_row = tuple(cell[a] for a in cols)
+        if new_row not in present:
+            rows.append(new_row)
+            return True
+    return False
+
+
+def chase(
+    relation: Relation,
+    dependencies: Iterable[Dependency],
+    max_steps: int = 100_000,
+) -> ChaseResult:
+    """Chase *relation* with *dependencies* to a fixpoint.
+
+    Raises ``RuntimeError`` if *max_steps* firings do not reach a fixpoint
+    (cannot happen for full dependencies unless the bound is set too low —
+    it exists purely as a safety net).
+    """
+    deps = list(dependencies)
+    rows: List[tuple] = list(relation.rows)
+    subst: Dict[Any, Any] = {}
+    steps = 0
+    try:
+        progressing = True
+        while progressing:
+            progressing = False
+            for dep in deps:
+                if isinstance(dep, FD):
+                    fired = _apply_fd(rows, dep, relation.schema, subst)
+                elif isinstance(dep, MVD):
+                    fired = _apply_mvd(rows, dep, relation.schema)
+                elif isinstance(dep, JD):
+                    fired = _apply_jd(rows, dep, relation.schema)
+                else:
+                    raise TypeError(f"unsupported dependency: {dep!r}")
+                if fired:
+                    steps += 1
+                    progressing = True
+                    if steps > max_steps:
+                        raise RuntimeError("chase exceeded max_steps")
+    except _Inconsistent:
+        return ChaseResult(relation, False, subst, steps)
+
+    chased = Relation(relation.schema, set(rows))
+    return ChaseResult(chased, True, subst, steps)

@@ -1,0 +1,105 @@
+"""Chase-based implication for mixed FD/MVD/JD sets.
+
+For *full* dependencies the chase of the canonical tableau is a sound and
+complete decision procedure for implication (Maier–Mendelzon–Sagiv 1979 —
+fittingly, one of Mendelzon's own foundational results).  The canonical
+tableaux are:
+
+- ``Σ ⊨ X → Y``: chase two rows agreeing exactly on ``X``; the FD holds iff
+  the rows end up agreeing on all of ``Y``.
+- ``Σ ⊨ X ↠ Y``: same tableau; the MVD holds iff the witness row combining
+  row 1's ``Y`` with row 2's ``U − X − Y`` appears.
+- ``Σ ⊨ ⋈[X1..Xn]``: one row per component carrying distinguished
+  variables on that component; the JD holds iff the fully-distinguished row
+  appears.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.chase.engine import Dependency, chase
+from repro.chase.tableau import (
+    canonical_tableau,
+    distinguished,
+    full_distinguished_row,
+    subscripted,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.dependencies.fd import FD
+from repro.dependencies.jd import JD
+from repro.dependencies.mvd import MVD
+from repro.relational.attributes import AttrsLike, attrset
+
+
+def _universe_of(sigma: Iterable[Dependency], candidate: Dependency) -> frozenset:
+    attrs = set(candidate.attributes)
+    for dep in sigma:
+        attrs |= dep.attributes
+    return frozenset(attrs)
+
+
+def implies(
+    sigma: Iterable[Dependency],
+    candidate: Dependency,
+    universe: Optional[AttrsLike] = None,
+) -> bool:
+    """True iff every relation over *universe* satisfying *sigma* satisfies
+    *candidate*.
+
+    *universe* defaults to all attributes mentioned anywhere; MVDs and JDs
+    are sensitive to the universe, so pass it explicitly when the schema has
+    attributes no dependency mentions.
+    """
+    sigma = list(sigma)
+    uni = attrset(universe) if universe is not None else _universe_of(sigma, candidate)
+
+    if isinstance(candidate, FD):
+        tableau = canonical_tableau(uni, [candidate.lhs, candidate.lhs])
+        result = chase(tableau, sigma)
+        if not result.consistent:
+            return True  # vacuously: tableau had no constants, cannot happen
+        schema = result.relation.schema
+        originals = [
+            tuple(result.apply(v) for v in row) for row in tableau.rows
+        ]
+        # Identify the two (possibly merged) hypothesis rows after the chase.
+        first, second = originals if len(originals) == 2 else (originals[0],) * 2
+        return all(
+            first[schema.index(a)] == second[schema.index(a)]
+            for a in sorted(candidate.rhs & uni)
+        )
+
+    if isinstance(candidate, MVD):
+        lhs = candidate.lhs & uni
+        mid = sorted((candidate.rhs - candidate.lhs) & uni)
+        cols = tuple(sorted(uni))
+        schema = RelationSchema("T", cols)
+        row1 = tuple(
+            distinguished(a) if a in lhs else subscripted(1, a) for a in cols
+        )
+        row2 = tuple(
+            distinguished(a) if a in lhs else subscripted(2, a) for a in cols
+        )
+        tableau = Relation(schema, [row1, row2])
+        witness = list(row2)
+        for a in mid:
+            witness[schema.index(a)] = row1[schema.index(a)]
+        result = chase(tableau, sigma)
+        if not result.consistent:
+            return True
+        witness_final = tuple(result.apply(v) for v in witness)
+        return witness_final in result.relation.rows
+
+    if isinstance(candidate, JD):
+        tableau = canonical_tableau(uni, list(candidate.components))
+        result = chase(tableau, sigma)
+        if not result.consistent:
+            return True
+        target = tuple(
+            result.apply(v) for v in full_distinguished_row(result.relation)
+        )
+        return target in result.relation.rows
+
+    raise TypeError(f"unsupported dependency: {candidate!r}")

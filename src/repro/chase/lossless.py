@@ -1,0 +1,35 @@
+"""The lossless-join test for decompositions.
+
+A decomposition ``{S1, ..., Sn}`` of universe ``U`` is lossless under ``Σ``
+iff ``Σ ⊨ ⋈[S1, ..., Sn]`` — decided by chasing the classical tableau with
+one row per fragment (Aho–Beeri–Ullman).  Works for any mix of FDs, MVDs
+and JDs in ``Σ``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.chase.engine import Dependency
+from repro.chase.implication import implies
+from repro.dependencies.jd import JD
+from repro.relational.attributes import AttrsLike, attrset
+
+
+def is_lossless(
+    universe: AttrsLike,
+    fragments: Sequence[AttrsLike],
+    sigma: Iterable[Dependency],
+) -> bool:
+    """True iff joining the projections onto *fragments* recovers every
+    relation over *universe* satisfying *sigma*."""
+    uni = attrset(universe)
+    frags = [attrset(f) for f in fragments]
+    covered = frozenset().union(*frags) if frags else frozenset()
+    if covered != uni:
+        raise ValueError(
+            f"fragments cover {sorted(covered)}, expected {sorted(uni)}"
+        )
+    if len(frags) == 1:
+        return True
+    return implies(list(sigma), JD(*frags), universe=uni)

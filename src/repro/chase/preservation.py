@@ -1,0 +1,47 @@
+"""Dependency preservation for FD decompositions.
+
+A decomposition preserves an FD set ``F`` iff the union of the projections
+of ``F`` onto the fragments implies all of ``F``.  The test uses the
+standard algorithm that avoids materializing the (exponential) projections:
+to check ``X → Y``, iterate ``Z := Z ∪ (closure_F(Z ∩ Si) ∩ Si)`` over the
+fragments until fixpoint and test ``Y ⊆ Z``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.dependencies.closure import attribute_closure
+from repro.dependencies.fd import FD
+from repro.relational.attributes import AttrsLike, attrset
+
+
+def _preserved(fd: FD, fragments: Sequence[frozenset], fds: list) -> bool:
+    z = set(fd.lhs)
+    changed = True
+    while changed:
+        changed = False
+        for frag in fragments:
+            gained = (attribute_closure(z & frag, fds) & frag) - z
+            if gained:
+                z |= gained
+                changed = True
+    return fd.rhs <= z
+
+
+def preserves_dependencies(
+    fds: Iterable[FD], fragments: Sequence[AttrsLike]
+) -> bool:
+    """True iff the decomposition into *fragments* preserves *fds*."""
+    fds = list(fds)
+    frags = [attrset(f) for f in fragments]
+    return all(_preserved(fd, frags, fds) for fd in fds)
+
+
+def unpreserved_fds(
+    fds: Iterable[FD], fragments: Sequence[AttrsLike]
+) -> list:
+    """The subset of *fds* that the decomposition fails to preserve."""
+    fds = list(fds)
+    frags = [attrset(f) for f in fragments]
+    return [fd for fd in fds if not _preserved(fd, frags, fds)]

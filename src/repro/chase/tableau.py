@@ -1,0 +1,73 @@
+"""Tableaux: relations whose entries mix variables and constants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List
+
+from repro.relational.attributes import AttrsLike, attrset
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+@dataclass(frozen=True, order=True)
+class Var:
+    """A tableau variable.
+
+    Variables compare and hash by name; anything that is not a :class:`Var`
+    is treated as a constant by the chase engine.  The conventional naming
+    from the literature is used by the tableau builders: ``a_<attr>`` for
+    distinguished variables and ``b<i>_<attr>`` for the rest.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def is_var(value: Any) -> bool:
+    """True iff *value* is a tableau variable."""
+    return isinstance(value, Var)
+
+
+def distinguished(attribute: str) -> Var:
+    """The distinguished variable ``a_<attribute>``."""
+    return Var(f"a_{attribute}")
+
+
+def subscripted(row: int, attribute: str) -> Var:
+    """The nondistinguished variable ``b<row>_<attribute>``."""
+    return Var(f"b{row}_{attribute}")
+
+
+def canonical_tableau(
+    universe: AttrsLike,
+    row_patterns: Iterable[AttrsLike],
+    name: str = "T",
+) -> Relation:
+    """Build the canonical tableau used by implication and lossless tests.
+
+    *row_patterns* gives, for each row, the attributes that carry the
+    distinguished variable ``a_<attr>``; every other cell of row ``i`` gets
+    the fresh variable ``b<i>_<attr>``.  For the lossless-join test the
+    patterns are the decomposition fragments; for implication tests they
+    encode the hypothesis tuples.
+    """
+    cols = tuple(sorted(attrset(universe)))
+    schema = RelationSchema(name, cols)
+    rows: List[tuple] = []
+    for i, pattern in enumerate(row_patterns, start=1):
+        keep = attrset(pattern)
+        rows.append(
+            tuple(
+                distinguished(a) if a in keep else subscripted(i, a)
+                for a in cols
+            )
+        )
+    return Relation(schema, rows)
+
+
+def full_distinguished_row(relation: Relation) -> tuple:
+    """The row carrying ``a_<attr>`` in every column of *relation*'s schema."""
+    return tuple(distinguished(a) for a in relation.schema.attributes)

@@ -1,0 +1,216 @@
+"""Compiled dependency checks over raw row arrays.
+
+The possible-worlds engines call the satisfaction oracle millions of
+times; constructing :class:`~repro.relational.relation.Relation` objects
+per call dominates the cost.  :func:`compile_check` specializes each
+dependency against a fixed schema and a *mutable* row array (list of
+lists) and returns a zero-argument closure reading the array's current
+contents.  Semantics match the ``is_satisfied_by`` methods exactly,
+including set-collapse of duplicate rows.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Callable, List
+
+from repro.dependencies.fd import FD
+from repro.dependencies.jd import JD
+from repro.dependencies.mvd import MVD
+from repro.relational.schema import RelationSchema
+
+
+def compile_check(
+    dep: Any, schema: RelationSchema, rows: List[List[Any]]
+) -> Callable[[], bool]:
+    """A fast ``() -> bool`` evaluating *dep* on the live *rows* array."""
+    if isinstance(dep, FD):
+        return _compile_fd(dep, schema, rows)
+    if isinstance(dep, MVD):
+        return _compile_mvd(dep, schema, rows)
+    if isinstance(dep, JD):
+        return _compile_jd(dep, schema, rows)
+    raise TypeError(f"unsupported dependency: {dep!r}")
+
+
+def _compile_fd(fd: FD, schema: RelationSchema, rows) -> Callable[[], bool]:
+    lhs_idx = tuple(schema.index(a) for a in sorted(fd.lhs))
+    rhs_idx = tuple(schema.index(a) for a in sorted(fd.rhs))
+
+    def check() -> bool:
+        seen: dict = {}
+        for row in rows:
+            key = tuple(row[i] for i in lhs_idx)
+            val = tuple(row[i] for i in rhs_idx)
+            prior = seen.setdefault(key, val)
+            if prior != val:
+                return False
+        return True
+
+    return check
+
+
+def _compile_mvd(mvd: MVD, schema: RelationSchema, rows) -> Callable[[], bool]:
+    uni = schema.attrset
+    lhs_idx = tuple(schema.index(a) for a in sorted(mvd.lhs & uni))
+    mid_idx = tuple(schema.index(a) for a in sorted((mvd.rhs - mvd.lhs) & uni))
+    rest_idx = tuple(schema.index(a) for a in sorted(uni - mvd.lhs - mvd.rhs))
+
+    def check() -> bool:
+        groups: dict = {}
+        for row in rows:
+            key = tuple(row[i] for i in lhs_idx)
+            combo = (
+                tuple(row[i] for i in mid_idx),
+                tuple(row[i] for i in rest_idx),
+            )
+            groups.setdefault(key, set()).add(combo)
+        for combos in groups.values():
+            if len(combos) == 1:
+                continue
+            mids = {m for m, _ in combos}
+            rests = {r for _, r in combos}
+            if len(combos) != len(mids) * len(rests):
+                return False
+        return True
+
+    return check
+
+
+def compile_certain_violation(
+    dep: Any, schema: RelationSchema, rows: List[List[Any]], is_unknown
+) -> Callable[[], bool]:
+    """A sound ``() -> bool`` that is True only when *dep* is violated for
+    **every** concretization of the cells *is_unknown* flags.
+
+    Used to prune pattern-search subtrees: assigned cells are concrete,
+    unassigned cells are Unknown sentinels.  JDs yield no sound cheap
+    test, so they always report ``False`` (no pruning).
+    """
+    if isinstance(dep, FD):
+        return _certain_fd(dep, schema, rows, is_unknown)
+    if isinstance(dep, MVD):
+        return _certain_mvd(dep, schema, rows, is_unknown)
+    if isinstance(dep, JD):
+        return lambda: False
+    raise TypeError(f"unsupported dependency: {dep!r}")
+
+
+def _certain_fd(fd: FD, schema, rows, is_unknown) -> Callable[[], bool]:
+    lhs_idx = tuple(schema.index(a) for a in sorted(fd.lhs))
+    rhs_idx = tuple(schema.index(a) for a in sorted(fd.rhs))
+
+    def check() -> bool:
+        seen: dict = {}
+        for row in rows:
+            key = tuple(row[i] for i in lhs_idx)
+            if any(is_unknown(v) for v in key):
+                continue
+            val = tuple(row[i] for i in rhs_idx)
+            for prior in seen.setdefault(key, []):
+                for a, b in zip(prior, val):
+                    if a != b and not is_unknown(a) and not is_unknown(b):
+                        return True
+            seen[key].append(val)
+        return False
+
+    return check
+
+
+def _certain_mvd(mvd: MVD, schema, rows, is_unknown) -> Callable[[], bool]:
+    uni = schema.attrset
+    lhs_idx = tuple(schema.index(a) for a in sorted(mvd.lhs & uni))
+    mid_idx = tuple(schema.index(a) for a in sorted((mvd.rhs - mvd.lhs) & uni))
+    rest_idx = tuple(schema.index(a) for a in sorted(uni - mvd.lhs - mvd.rhs))
+
+    witness_idx = lhs_idx + mid_idx + rest_idx
+
+    def check() -> bool:
+        n = len(rows)
+        keys = []
+        for t in rows:
+            key = tuple(t[i] for i in lhs_idx)
+            known = True
+            for v in key:
+                if is_unknown(v):
+                    known = False
+                    break
+            keys.append(key if known else None)
+        for a in range(n):
+            key1 = keys[a]
+            if key1 is None:
+                continue
+            t1 = rows[a]
+            for b in range(n):
+                if b == a or keys[b] != key1:
+                    continue
+                t2 = rows[b]
+                # Required witness: lhs/mid from t1, rest from t2.
+                witness_vals = [t1[i] for i in lhs_idx + mid_idx] + [
+                    t2[i] for i in rest_idx
+                ]
+                pinned = True
+                for v in witness_vals:
+                    if is_unknown(v):
+                        pinned = False
+                        break
+                if not pinned:
+                    continue  # witness not pinned yet; might still appear
+                found_possible = False
+                for row in rows:
+                    compatible = True
+                    for i, v in zip(witness_idx, witness_vals):
+                        cell = row[i]
+                        if cell != v and not is_unknown(cell):
+                            compatible = False
+                            break
+                    if compatible:
+                        found_possible = True
+                        break
+                if not found_possible:
+                    return True
+        return False
+
+    return check
+
+
+def _compile_jd(jd: JD, schema: RelationSchema, rows) -> Callable[[], bool]:
+    comp_idx = [
+        tuple(schema.index(a) for a in sorted(comp & schema.attrset))
+        for comp in jd.components
+    ]
+    # Column order of the reassembled tuple: schema order; for each column
+    # remember one component that carries it plus, for join compatibility,
+    # all (component, position) pairs per attribute.
+    attr_sources = {}
+    for ci, comp in enumerate(jd.components):
+        for pos, a in enumerate(sorted(comp & schema.attrset)):
+            attr_sources.setdefault(a, []).append((ci, pos))
+    n_cols = schema.arity
+    col_source = [attr_sources[a][0] for a in schema.attributes]
+    shared = {a: srcs for a, srcs in attr_sources.items() if len(srcs) > 1}
+
+    def check() -> bool:
+        row_set = {tuple(row) for row in rows}
+        projections = [
+            {tuple(row[i] for i in idx) for row in row_set} for idx in comp_idx
+        ]
+        for combo in product(*projections):
+            compatible = True
+            for srcs in shared.values():
+                (c0, p0) = srcs[0]
+                v = combo[c0][p0]
+                for c, p in srcs[1:]:
+                    if combo[c][p] != v:
+                        compatible = False
+                        break
+                if not compatible:
+                    break
+            if not compatible:
+                continue
+            joined = tuple(combo[c][p] for c, p in col_source)
+            if joined not in row_set:
+                return False
+        return True
+
+    return check

@@ -1,0 +1,64 @@
+"""The public measure API (façade over the engines)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Dict, Optional, Union
+
+from repro.core.bruteforce import inf_k_bruteforce
+from repro.core.montecarlo import MCEstimate, ric_montecarlo
+from repro.core.positions import Position, PositionedInstance
+from repro.core.symbolic import inf_k_symbolic, ric_exact
+
+
+def inf_k(
+    instance: PositionedInstance,
+    p: Position,
+    k: int,
+    method: str = "symbolic",
+) -> float:
+    """``INF_I^k(p | Σ)`` in bits.
+
+    *method*: ``"symbolic"`` (exact, pattern counting) or ``"bruteforce"``
+    (exact, literal enumeration; tiny instances only).
+    """
+    if method == "symbolic":
+        return inf_k_symbolic(instance, p, k)
+    if method == "bruteforce":
+        return inf_k_bruteforce(instance, p, k)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def ric(
+    instance: PositionedInstance,
+    p: Position,
+    method: str = "exact",
+    samples: int = 200,
+    rng: Optional[random.Random] = None,
+) -> Union[Fraction, MCEstimate]:
+    """The relative information content ``RIC_I(p | Σ) ∈ [0, 1]``.
+
+    *method*: ``"exact"`` returns a :class:`~fractions.Fraction` (sweeps
+    all revealed sets); ``"montecarlo"`` returns an
+    :class:`~repro.core.montecarlo.MCEstimate` and scales to instances the
+    exact sweep cannot handle.
+    """
+    if method == "exact":
+        return ric_exact(instance, p)
+    if method == "montecarlo":
+        return ric_montecarlo(instance, p, samples=samples, rng=rng)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def ric_profile(
+    instance: PositionedInstance,
+    method: str = "exact",
+    samples: int = 200,
+    rng: Optional[random.Random] = None,
+) -> Dict[Position, Union[Fraction, MCEstimate]]:
+    """``RIC`` for every position of the instance."""
+    return {
+        p: ric(instance, p, method=method, samples=samples, rng=rng)
+        for p in instance.positions
+    }

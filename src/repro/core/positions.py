@@ -1,0 +1,240 @@
+"""Positions and positioned instances.
+
+The measure is defined over the *positions* of an instance: one slot per
+(tuple, attribute) pair.  Relations are sets, so tuples get a canonical
+index (sorted order) when the instance is positioned; the index is stable
+for the lifetime of the :class:`PositionedInstance`.
+
+Constraints are attached per relation.  A positioned instance knows how to
+rebuild a concrete :class:`~repro.relational.relation.Relation` from any
+assignment of values to its positions and check all constraints — this is
+the satisfaction oracle every engine in :mod:`repro.core` drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.chase.engine import Dependency
+from repro.core.fastcheck import compile_check
+from repro.relational.relation import DatabaseInstance, Relation
+
+
+@dataclass(frozen=True, order=True)
+class Position:
+    """A value slot: relation name, canonical row index, attribute."""
+
+    relation: str
+    row: int
+    attribute: str
+
+    def __str__(self) -> str:
+        return f"{self.relation}[{self.row}].{self.attribute}"
+
+
+class PositionedInstance:
+    """A database instance with indexed positions and attached constraints.
+
+    Build with :meth:`from_relation` (single relation, the paper's usual
+    setting) or :meth:`from_instance` (several relations; constraints are
+    given per relation name).
+    """
+
+    def __init__(
+        self,
+        relations: Sequence[Relation],
+        constraints: Mapping[str, Sequence[Dependency]],
+    ):
+        self._schemas = [rel.schema for rel in relations]
+        self._rows: List[List[Tuple[Any, ...]]] = [
+            list(rel.sorted_rows()) for rel in relations
+        ]
+        self._constraints: Dict[str, List[Dependency]] = {
+            name: list(deps) for name, deps in constraints.items()
+        }
+        unknown = set(self._constraints) - {s.name for s in self._schemas}
+        if unknown:
+            raise KeyError(f"constraints reference unknown relations: {unknown}")
+
+        self._positions: List[Position] = []
+        self._cell_of: Dict[Position, Tuple[int, int, int]] = {}
+        for r, schema in enumerate(self._schemas):
+            for i, _row in enumerate(self._rows[r]):
+                for c, attr in enumerate(schema.attributes):
+                    pos = Position(schema.name, i, attr)
+                    self._positions.append(pos)
+                    self._cell_of[pos] = (r, i, c)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_relation(
+        cls, relation: Relation, constraints: Iterable[Dependency]
+    ) -> "PositionedInstance":
+        """Position a single relation with its constraint set."""
+        return cls([relation], {relation.schema.name: list(constraints)})
+
+    @classmethod
+    def from_instance(
+        cls,
+        instance: DatabaseInstance,
+        constraints: Mapping[str, Sequence[Dependency]],
+    ) -> "PositionedInstance":
+        """Position a multi-relation instance; *constraints* maps relation
+        names to their dependency lists."""
+        return cls(list(instance.relations), constraints)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def positions(self) -> List[Position]:
+        """All positions in canonical order."""
+        return list(self._positions)
+
+    def position(self, relation: str, row: int, attribute: str) -> Position:
+        """The position object for a (relation, row, attribute) triple."""
+        pos = Position(relation, row, attribute)
+        if pos not in self._cell_of:
+            raise KeyError(f"no such position: {pos}")
+        return pos
+
+    def value_at(self, pos: Position) -> Any:
+        """The instance's original value at *pos*."""
+        r, i, c = self._cell_of[pos]
+        return self._rows[r][i][c]
+
+    def active_domain(self) -> frozenset:
+        """All values appearing in the instance."""
+        return frozenset(
+            v for rows in self._rows for row in rows for v in row
+        )
+
+    def constraints_for(self, relation: str) -> List[Dependency]:
+        """The dependency list attached to *relation*."""
+        return list(self._constraints.get(relation, []))
+
+    @property
+    def all_constraints(self) -> List[Tuple[str, Dependency]]:
+        """Flat list of (relation, dependency) pairs."""
+        return [
+            (name, dep)
+            for name, deps in self._constraints.items()
+            for dep in deps
+        ]
+
+    # ------------------------------------------------------------------
+    # the satisfaction oracle
+    # ------------------------------------------------------------------
+
+    def satisfies(self, assignment: Mapping[Position, Any]) -> bool:
+        """Does the instance, with *assignment* substituted at the given
+        positions, satisfy every attached constraint?
+
+        Positions not mentioned keep their original values.  Substituted
+        rows that collapse (set semantics) are merged before checking, as
+        in the paper's model.
+        """
+        for r, schema in enumerate(self._schemas):
+            deps = self._constraints.get(schema.name)
+            rows = self._rows[r]
+            new_rows = []
+            for i, row in enumerate(rows):
+                cells = list(row)
+                for c, attr in enumerate(schema.attributes):
+                    pos = Position(schema.name, i, attr)
+                    if pos in assignment:
+                        cells[c] = assignment[pos]
+                new_rows.append(tuple(cells))
+            if deps:
+                relation = Relation(schema, new_rows)
+                if not all(dep.is_satisfied_by(relation) for dep in deps):
+                    return False
+        return True
+
+    def make_oracle(self, variable_positions: Sequence[Position]):
+        """A fast satisfaction oracle over a fixed set of variable positions.
+
+        Returns ``oracle(values)`` taking a value sequence aligned with
+        *variable_positions*; all other positions keep their original
+        values.  Dependency checks are compiled to closures over raw row
+        arrays (no Relation construction) — this is the hot path of every
+        engine in :mod:`repro.core`.
+        """
+        var_cells = [self._cell_of[p] for p in variable_positions]
+        base: List[List[List[Any]]] = [
+            [list(row) for row in rows] for rows in self._rows
+        ]
+        checks = [
+            compile_check(dep, self._schemas[r], base[r])
+            for r, schema in enumerate(self._schemas)
+            for dep in self._constraints.get(schema.name, ())
+        ]
+        originals = [self.value_at(p) for p in variable_positions]
+
+        def oracle(values: Sequence[Any]) -> bool:
+            for (r, i, c), value in zip(var_cells, values):
+                base[r][i][c] = value
+            ok = all(check() for check in checks)
+            # Restore originals so the oracle is reusable and reentrant-safe
+            # within a single-threaded engine loop.
+            for (r, i, c), original in zip(var_cells, originals):
+                base[r][i][c] = original
+            return ok
+
+        return oracle
+
+    def make_certain_checker(self, variable_positions: Sequence[Position]):
+        """Three-valued companion of :meth:`make_oracle`.
+
+        Returns ``checker(values)`` that is True only when some constraint
+        is violated regardless of how the
+        :class:`~repro.core.worlds.Unknown` cells among *values* are
+        concretized — the sound pruning test of the pattern search.
+        """
+        from repro.core.fastcheck import compile_certain_violation
+        from repro.core.worlds import Unknown
+
+        def is_unknown(value: Any) -> bool:
+            return isinstance(value, Unknown)
+
+        var_cells = [self._cell_of[p] for p in variable_positions]
+        base: List[List[List[Any]]] = [
+            [list(row) for row in rows] for rows in self._rows
+        ]
+        checks = [
+            compile_certain_violation(dep, self._schemas[r], base[r], is_unknown)
+            for r, schema in enumerate(self._schemas)
+            for dep in self._constraints.get(schema.name, ())
+        ]
+        originals = [self.value_at(p) for p in variable_positions]
+
+        def checker(values: Sequence[Any]) -> bool:
+            for (r, i, c), value in zip(var_cells, values):
+                base[r][i][c] = value
+            doomed = any(check() for check in checks)
+            for (r, i, c), original in zip(var_cells, originals):
+                base[r][i][c] = original
+            return doomed
+
+        return checker
+
+    def check_original(self) -> bool:
+        """Sanity check: the unmodified instance satisfies its constraints."""
+        return self.satisfies({})
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __str__(self) -> str:
+        parts = []
+        for r, schema in enumerate(self._schemas):
+            deps = "; ".join(str(d) for d in self._constraints.get(schema.name, []))
+            parts.append(f"{schema}  {{{deps}}}")
+            for row in self._rows[r]:
+                parts.append("  " + ", ".join(map(str, row)))
+        return "\n".join(parts)

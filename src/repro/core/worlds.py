@@ -1,0 +1,109 @@
+"""Possible-worlds templates: one per (position, revealed set) pair.
+
+A :class:`World` fixes the measured position ``p`` and the revealed set
+``X``; it knows the revealed value pool, the erased positions, and exposes
+a satisfaction oracle over ``(candidate value at p, values at erased
+positions)``.  Engines differ only in how they enumerate or count the
+satisfying completions of a world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, List, Sequence, Tuple
+
+from repro.core.positions import Position, PositionedInstance
+
+
+@dataclass(frozen=True)
+class FreshValue:
+    """A symbolic domain value distinct from every concrete value.
+
+    Generic constraints (FDs/MVDs/JDs/XFDs) only inspect equalities, so a
+    completion that uses "some value outside the revealed pool" can be
+    represented by a sentinel; two sentinels with different tags stand for
+    two distinct fresh values.
+    """
+
+    tag: int
+
+    def __repr__(self) -> str:
+        return f"*{self.tag}"
+
+
+#: Sentinel tag for the candidate value itself when it is fresh.
+CANDIDATE_TAG = -1
+
+#: The candidate-class marker for "a fresh value not in the revealed pool".
+FRESH = FreshValue(CANDIDATE_TAG)
+
+
+@dataclass(frozen=True)
+class Unknown:
+    """A not-yet-assigned cell in a partial pattern.
+
+    Three-valued dependency checks treat :class:`Unknown` cells as
+    wildcards: a violation is *certain* only if it holds for every way of
+    concretizing them.  Used by the pattern search to prune doomed
+    subtrees soundly.
+    """
+
+    tag: int
+
+    def __repr__(self) -> str:
+        return f"?{self.tag}"
+
+
+class World:
+    """The possible-worlds template for measuring ``p`` after revealing ``X``."""
+
+    def __init__(
+        self,
+        instance: PositionedInstance,
+        p: Position,
+        revealed: FrozenSet[Position],
+    ):
+        if p in revealed:
+            raise ValueError("the measured position cannot be revealed")
+        self.instance = instance
+        self.p = p
+        self.revealed = frozenset(revealed)
+        self.erased: List[Position] = [
+            q for q in instance.positions if q != p and q not in self.revealed
+        ]
+        self.fixed_values: Tuple[Any, ...] = tuple(
+            sorted({instance.value_at(q) for q in self.revealed}, key=repr)
+        )
+        self._oracle = instance.make_oracle([p] + self.erased)
+        make_certain = getattr(instance, "make_certain_checker", None)
+        self._certain = (
+            make_certain([p] + self.erased) if make_certain is not None else None
+        )
+
+    @property
+    def num_erased(self) -> int:
+        """Number of erased positions (completion dimensions)."""
+        return len(self.erased)
+
+    def candidate_classes(self) -> List[Any]:
+        """Symmetry classes for the candidate value at ``p``.
+
+        Each revealed value is its own class; all values outside the
+        revealed pool are interchangeable and represented by :data:`FRESH`.
+        """
+        return list(self.fixed_values) + [FRESH]
+
+    def satisfies(self, candidate: Any, completion: Sequence[Any]) -> bool:
+        """Oracle: does ``p := candidate`` plus *completion* at the erased
+        positions satisfy every constraint?"""
+        return self._oracle([candidate] + list(completion))
+
+    def certainly_violated(self, candidate: Any, partial: Sequence[Any]) -> bool:
+        """Sound pruning test: is some constraint violated no matter how
+        the :class:`Unknown` cells of *partial* are concretized?
+
+        Returns ``False`` when no three-valued checker is available.
+        """
+        if self._certain is None:
+            return False
+        return self._certain([candidate] + list(partial))

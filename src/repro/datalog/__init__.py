@@ -1,0 +1,25 @@
+"""A Datalog engine with stratified negation.
+
+Mendelzon's GraphLog (Consens & Mendelzon, PODS 1990) is defined by
+translation to stratified linear Datalog; this package provides the target
+language: terms/atoms/rules (:mod:`repro.datalog.ast`), stratification
+(:mod:`repro.datalog.stratify`), and naive plus semi-naive bottom-up
+evaluation (:mod:`repro.datalog.engine`).
+"""
+
+from repro.datalog.ast import Atom, Const, Program, Rule, Var
+from repro.datalog.engine import Database, evaluate, evaluate_naive
+from repro.datalog.stratify import StratificationError, stratify
+
+__all__ = [
+    "Var",
+    "Const",
+    "Atom",
+    "Rule",
+    "Program",
+    "Database",
+    "evaluate",
+    "evaluate_naive",
+    "stratify",
+    "StratificationError",
+]

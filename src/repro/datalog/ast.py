@@ -1,0 +1,136 @@
+"""Datalog abstract syntax: terms, atoms, rules, programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Iterable, List, Set, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Var:
+    """A Datalog variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A Datalog constant (wraps an arbitrary hashable value)."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+Term = Union[Var, Const]
+
+
+def term(value: Any) -> Term:
+    """Uppercase-starting strings become variables, everything else constants
+    (the conventional textual shorthand)."""
+    if isinstance(value, (Var, Const)):
+        return value
+    if isinstance(value, str) and value[:1].isupper():
+        return Var(value)
+    return Const(value)
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``pred(t1, ..., tn)``, optionally negated in rule bodies."""
+
+    pred: str
+    args: Tuple[Term, ...]
+    negated: bool = False
+
+    def __init__(self, pred: str, args: Iterable[Any], negated: bool = False):
+        object.__setattr__(self, "pred", pred)
+        object.__setattr__(self, "args", tuple(term(a) for a in args))
+        object.__setattr__(self, "negated", negated)
+
+    @property
+    def arity(self) -> int:
+        """Number of arguments."""
+        return len(self.args)
+
+    def variables(self) -> FrozenSet[Var]:
+        """Variables occurring in the atom."""
+        return frozenset(t for t in self.args if isinstance(t, Var))
+
+    def negate(self) -> "Atom":
+        """The negated copy (for rule bodies)."""
+        return Atom(self.pred, self.args, negated=not self.negated)
+
+    def __str__(self) -> str:
+        inner = ", ".join(map(repr, self.args))
+        prefix = "not " if self.negated else ""
+        return f"{prefix}{self.pred}({inner})"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body``.  Facts are rules with an empty body.
+
+    Safety (every head/negated variable bound by a positive body atom) is
+    checked at construction.
+    """
+
+    head: Atom
+    body: Tuple[Atom, ...] = ()
+
+    def __init__(self, head: Atom, body: Iterable[Atom] = ()):
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", tuple(body))
+        if self.head.negated:
+            raise ValueError("rule heads cannot be negated")
+        bound: Set[Var] = set()
+        for atom in self.body:
+            if not atom.negated:
+                bound |= atom.variables()
+        unbound = self.head.variables() - bound
+        if self.body and unbound:
+            raise ValueError(f"unsafe rule: {sorted(map(str, unbound))} unbound")
+        if not self.body and self.head.variables():
+            raise ValueError("facts must be ground")
+        for atom in self.body:
+            if atom.negated and not atom.variables() <= bound:
+                raise ValueError(
+                    f"unsafe negation in {atom}: variables must be bound "
+                    "by positive atoms"
+                )
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        return f"{self.head} :- {', '.join(map(str, self.body))}."
+
+
+@dataclass
+class Program:
+    """A list of rules; intensional predicates are those in rule heads."""
+
+    rules: List[Rule] = field(default_factory=list)
+
+    def add(self, rule: Rule) -> "Program":
+        """Append a rule (builder convenience)."""
+        self.rules.append(rule)
+        return self
+
+    def idb_predicates(self) -> Set[str]:
+        """Predicates defined by some rule with a nonempty body."""
+        return {r.head.pred for r in self.rules if r.body}
+
+    def predicates(self) -> Set[str]:
+        """All predicates mentioned anywhere."""
+        out: Set[str] = set()
+        for rule in self.rules:
+            out.add(rule.head.pred)
+            out.update(a.pred for a in rule.body)
+        return out
+
+    def __str__(self) -> str:
+        return "\n".join(map(str, self.rules))

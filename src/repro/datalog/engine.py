@@ -1,0 +1,183 @@
+"""Bottom-up Datalog evaluation: naive and semi-naive.
+
+The database is a mapping ``pred → set of value tuples``.  Evaluation is
+stratum by stratum; within a stratum, :func:`evaluate` uses semi-naive
+iteration (joins must touch at least one delta fact) and
+:func:`evaluate_naive` recomputes everything each round — kept as the
+baseline that experiment E14 compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.datalog.ast import Atom, Const, Program, Rule, Var
+from repro.datalog.stratify import stratify
+
+Database = Dict[str, Set[Tuple[Any, ...]]]
+Bindings = Dict[Var, Any]
+
+
+def _match(atom: Atom, fact: Tuple[Any, ...], bindings: Bindings) -> Optional[Bindings]:
+    """Extend *bindings* by matching *atom* against *fact* (or None)."""
+    out = dict(bindings)
+    for term_, value in zip(atom.args, fact):
+        if isinstance(term_, Const):
+            if term_.value != value:
+                return None
+        else:
+            bound = out.get(term_)
+            if bound is None:
+                out[term_] = value
+            elif bound != value:
+                return None
+    return out
+
+
+def _satisfies_negation(atom: Atom, db: Database, bindings: Bindings) -> bool:
+    fact = tuple(
+        t.value if isinstance(t, Const) else bindings[t] for t in atom.args
+    )
+    return fact not in db.get(atom.pred, set())
+
+
+def _join_rule(
+    rule: Rule,
+    db: Database,
+    delta: Optional[Database] = None,
+) -> Iterator[Tuple[Any, ...]]:
+    """All head facts derivable by *rule* from *db*.
+
+    With *delta*, at least one positive atom must match a delta fact
+    (semi-naive restriction); the union over which atom takes the delta
+    role is enumerated without duplication concerns (the caller dedups).
+    """
+    positive = [a for a in rule.body if not a.negated]
+    negative = [a for a in rule.body if a.negated]
+
+    def source(atom: Atom, use_delta: bool) -> Set[Tuple[Any, ...]]:
+        if use_delta:
+            return delta.get(atom.pred, set()) if delta else set()
+        return db.get(atom.pred, set())
+
+    def recurse(i: int, bindings: Bindings, used_delta: bool) -> Iterator[Bindings]:
+        if i == len(positive):
+            if delta is not None and not used_delta:
+                return
+            yield bindings
+            return
+        atom = positive[i]
+        pools: List[Tuple[Set[Tuple[Any, ...]], bool]] = []
+        if delta is None:
+            pools.append((db.get(atom.pred, set()), False))
+        else:
+            pools.append((delta.get(atom.pred, set()), True))
+            # The non-delta pool only contributes when the delta
+            # obligation is already met or can still be met later —
+            # this pruning is what makes semi-naive cheaper than naive.
+            remaining_can_delta = any(
+                delta.get(a.pred) for a in positive[i + 1 :]
+            )
+            if used_delta or remaining_can_delta:
+                full_minus = db.get(atom.pred, set()) - delta.get(
+                    atom.pred, set()
+                )
+                pools.append((full_minus, False))
+        for pool, is_delta in pools:
+            for fact in pool:
+                extended = _match(atom, fact, bindings)
+                if extended is not None:
+                    yield from recurse(i + 1, extended, used_delta or is_delta)
+
+    for bindings in recurse(0, {}, False):
+        if all(_satisfies_negation(a, db, bindings) for a in negative):
+            yield tuple(
+                t.value if isinstance(t, Const) else bindings[t]
+                for t in rule.head.args
+            )
+
+
+def _run_stratum(
+    rules: List[Rule], db: Database, semi_naive: bool
+) -> int:
+    """Evaluate one stratum to fixpoint in-place; returns iteration count."""
+    for rule in rules:
+        if not rule.body:
+            db.setdefault(rule.head.pred, set()).add(
+                tuple(t.value for t in rule.head.args)  # type: ignore[union-attr]
+            )
+    recursive = [r for r in rules if r.body]
+    if not recursive:
+        return 0
+
+    iterations = 0
+    if not semi_naive:
+        changed = True
+        while changed:
+            iterations += 1
+            changed = False
+            for rule in recursive:
+                target = db.setdefault(rule.head.pred, set())
+                for fact in list(_join_rule(rule, db)):
+                    if fact not in target:
+                        target.add(fact)
+                        changed = True
+        return iterations
+
+    # Semi-naive: seed delta with one naive round, then iterate on deltas.
+    delta: Database = {}
+    for rule in recursive:
+        target = db.setdefault(rule.head.pred, set())
+        for fact in list(_join_rule(rule, db)):
+            if fact not in target:
+                target.add(fact)
+                delta.setdefault(rule.head.pred, set()).add(fact)
+    iterations += 1
+
+    while any(delta.values()):
+        iterations += 1
+        new_delta: Database = {}
+        for rule in recursive:
+            target = db.setdefault(rule.head.pred, set())
+            for fact in list(_join_rule(rule, db, delta=delta)):
+                if fact not in target:
+                    target.add(fact)
+                    new_delta.setdefault(rule.head.pred, set()).add(fact)
+        delta = new_delta
+    return iterations
+
+
+def _evaluate(program: Program, edb: Database, semi_naive: bool) -> Database:
+    db: Database = {pred: set(facts) for pred, facts in edb.items()}
+    strata = stratify(program)
+    stratum_of = {p: i for i, s in enumerate(strata) for p in s}
+    for i in range(len(strata)):
+        rules = [r for r in program.rules if stratum_of[r.head.pred] == i]
+        if rules:
+            _run_stratum(rules, db, semi_naive)
+    return db
+
+
+def evaluate(program: Program, edb: Database) -> Database:
+    """Semi-naive stratified evaluation; returns the full model."""
+    return _evaluate(program, edb, semi_naive=True)
+
+
+def evaluate_naive(program: Program, edb: Database) -> Database:
+    """Naive stratified evaluation (the E14 baseline)."""
+    return _evaluate(program, edb, semi_naive=False)
+
+
+def iterations_to_fixpoint(
+    program: Program, edb: Database, semi_naive: bool = True
+) -> int:
+    """Total fixpoint iterations across strata (for the E14 comparison)."""
+    db: Database = {pred: set(facts) for pred, facts in edb.items()}
+    strata = stratify(program)
+    stratum_of = {p: i for i, s in enumerate(strata) for p in s}
+    total = 0
+    for i in range(len(strata)):
+        rules = [r for r in program.rules if stratum_of[r.head.pred] == i]
+        if rules:
+            total += _run_stratum(rules, db, semi_naive)
+    return total

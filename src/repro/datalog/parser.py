@@ -1,0 +1,88 @@
+"""Textual Datalog notation.
+
+The conventional syntax::
+
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- tc(X, Y), e(Y, Z).
+    indirect(X, Y) :- tc(X, Y), not e(X, Y).
+    seed(1, 2).
+
+Uppercase-initial identifiers are variables; integers and
+lowercase-initial identifiers are constants; ``not`` negates a body atom.
+``%`` starts a comment.  :func:`parse_program` returns a
+:class:`~repro.datalog.ast.Program`; ground facts become body-less rules.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List
+
+from repro.datalog.ast import Atom, Const, Program, Rule, Var
+
+_ATOM_RE = re.compile(r"^\s*(not\s+)?(\w+)\s*\(([^()]*)\)\s*$")
+
+
+def _parse_term(token: str) -> Any:
+    token = token.strip()
+    if not token:
+        raise ValueError("empty term")
+    if re.fullmatch(r"-?\d+", token):
+        return Const(int(token))
+    if token[0].isupper():
+        return Var(token)
+    return Const(token)
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse one (possibly negated) atom."""
+    match = _ATOM_RE.match(text)
+    if not match:
+        raise ValueError(f"not an atom: {text!r}")
+    negation, pred, args_text = match.groups()
+    args = [
+        _parse_term(part)
+        for part in args_text.split(",")
+        if part.strip() or args_text.strip()
+    ] if args_text.strip() else []
+    return Atom(pred, args, negated=bool(negation))
+
+
+def _split_body(text: str) -> List[str]:
+    """Split a rule body on commas that are not inside parentheses."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return [part for part in parts if part.strip()]
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse one rule or ground fact (without the trailing period)."""
+    if ":-" in text:
+        head_text, body_text = text.split(":-", 1)
+        head = parse_atom(head_text)
+        body = [parse_atom(part) for part in _split_body(body_text)]
+        return Rule(head, body)
+    return Rule(parse_atom(text))
+
+
+def parse_program(text: str) -> Program:
+    """Parse a whole program (period-terminated statements)."""
+    program = Program()
+    cleaned = "\n".join(
+        line.split("%", 1)[0] for line in text.splitlines()
+    )
+    for statement in cleaned.split("."):
+        if statement.strip():
+            program.add(parse_rule(statement))
+    return program

@@ -1,0 +1,51 @@
+"""Dependency theory: FDs, MVDs, JDs and their classical algorithms.
+
+This package implements the constraint classes the Arenas–Libkin framework
+quantifies over, plus the standard toolchain built on them:
+
+- :mod:`repro.dependencies.fd` / :mod:`~repro.dependencies.mvd` /
+  :mod:`~repro.dependencies.jd` — the constraint classes, each with
+  instance-level satisfaction checking (used directly by the possible-worlds
+  engines in :mod:`repro.core`).
+- :mod:`repro.dependencies.closure` — attribute closure and FD implication
+  (Beeri–Bernstein linear-time algorithm).
+- :mod:`repro.dependencies.minimal_cover` — canonical/minimal covers.
+- :mod:`repro.dependencies.keys` — superkeys, candidate keys, prime
+  attributes.
+- :mod:`repro.dependencies.basis` — the MVD dependency basis by partition
+  refinement.
+- :mod:`repro.dependencies.projection` — projecting dependency sets onto
+  sub-schemas (used by the decomposition algorithms).
+
+Mixed FD/MVD/JD implication is chase-based and lives in
+:mod:`repro.chase.implication` (the chase is complete for full
+dependencies).
+"""
+
+from repro.dependencies.fd import FD
+from repro.dependencies.mvd import MVD
+from repro.dependencies.jd import JD
+from repro.dependencies.closure import attribute_closure, fd_implies, fds_equivalent
+from repro.dependencies.minimal_cover import minimal_cover
+from repro.dependencies.keys import candidate_keys, is_superkey, prime_attributes
+from repro.dependencies.basis import dependency_basis
+from repro.dependencies.projection import project_fds, project_dependencies
+from repro.dependencies.armstrong import armstrong_relation, closed_sets
+
+__all__ = [
+    "FD",
+    "MVD",
+    "JD",
+    "attribute_closure",
+    "fd_implies",
+    "fds_equivalent",
+    "minimal_cover",
+    "candidate_keys",
+    "is_superkey",
+    "prime_attributes",
+    "dependency_basis",
+    "project_fds",
+    "project_dependencies",
+    "armstrong_relation",
+    "closed_sets",
+]

@@ -1,0 +1,92 @@
+"""Armstrong relations (Fagin; Beeri–Dowd–Fagin–Statman).
+
+An *Armstrong relation* for an FD set ``F`` satisfies exactly the FDs
+implied by ``F`` — the universal witness instance.  The classical
+construction: for every closed attribute set ``X = X⁺`` (it suffices to
+take closures of all subsets, i.e. the intersection-generated family),
+add a pair of tuples that agree exactly on ``X``.
+
+Armstrong relations connect the syntactic and semantic sides of the
+library: they let the measure engines exercise "all the redundancy ``F``
+permits and nothing more", and they make implication falsifiable by a
+single instance.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Set
+
+from repro.dependencies.closure import attribute_closure
+from repro.dependencies.fd import FD
+from repro.relational.attributes import AttrsLike, attrset
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+def closed_sets(universe: AttrsLike, fds: Iterable[FD]) -> Set[FrozenSet[str]]:
+    """All closed attribute sets ``X = X⁺`` over *universe*.
+
+    Computed as closures of every subset (exponential in the universe,
+    like everything honest about FD lattices); the result always contains
+    the universe itself.
+    """
+    fds = list(fds)
+    uni = sorted(attrset(universe))
+    out: Set[FrozenSet[str]] = set()
+    for size in range(len(uni) + 1):
+        for combo in combinations(uni, size):
+            out.add(attribute_closure(frozenset(combo), fds))
+    return out
+
+
+def armstrong_relation(
+    universe: AttrsLike, fds: Iterable[FD], name: str = "ARM"
+) -> Relation:
+    """Build an Armstrong relation for ``(universe, fds)``.
+
+    The relation satisfies an FD ``X → Y`` (over *universe*) **iff**
+    ``fds ⊨ X → Y``.  Integer values; one base tuple plus one tuple per
+    proper closed set, agreeing with the base exactly on that set.
+    """
+    fds = list(fds)
+    uni = attrset(universe)
+    cols = tuple(sorted(uni))
+    schema = RelationSchema(name, cols)
+
+    rows: List[tuple] = [tuple(0 for _ in cols)]
+    fresh = [0]
+
+    def next_value() -> int:
+        fresh[0] += 1
+        return fresh[0]
+
+    for closed in sorted(closed_sets(uni, fds) - {frozenset(uni)}, key=sorted):
+        rows.append(
+            tuple(0 if a in closed else next_value() for a in cols)
+        )
+    return Relation(schema, rows)
+
+
+def satisfied_fds_exactly_implied(
+    universe: AttrsLike, fds: Iterable[FD], relation: Relation
+) -> bool:
+    """Check the Armstrong property on *relation*: every single-attribute
+    FD over *universe* is satisfied iff implied by *fds*.
+
+    (Single-attribute consequents suffice: FDs decompose on the right.)
+    """
+    fds = list(fds)
+    uni = sorted(attrset(universe))
+    for size in range(len(uni)):
+        for combo in combinations(uni, size):
+            lhs = frozenset(combo)
+            closure = attribute_closure(lhs, fds)
+            for attr in uni:
+                if attr in lhs:
+                    continue
+                candidate = FD(lhs, {attr})
+                implied = attr in closure
+                if candidate.is_satisfied_by(relation) != implied:
+                    return False
+    return True

@@ -1,0 +1,77 @@
+"""The MVD dependency basis (Beeri's partition-refinement algorithm).
+
+For an attribute set ``X`` and a set of MVDs over universe ``U``, the
+dependency basis ``DEP(X)`` is the unique partition of ``U − X`` such that
+``X ↠ Y`` is implied iff ``Y − X`` is a union of partition blocks.  The
+refinement algorithm below is Beeri's (JACM 1980): start from the single
+block ``U − X`` and split any block that an MVD "cuts" from outside.
+
+FDs may be supplied; they participate as their MVD images (``V → W``
+contributes ``V ↠ W``), which is sound for deriving MVDs.  For mixed
+FD/MVD *implication* use :func:`repro.chase.implication.implies`, which is
+complete; the test-suite cross-checks the two.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional
+
+from repro.dependencies.fd import FD
+from repro.dependencies.mvd import MVD
+from repro.relational.attributes import AttrSet, AttrsLike, attrset
+
+
+def dependency_basis(
+    attrs: AttrsLike,
+    mvds: Iterable[MVD],
+    universe: AttrsLike,
+    fds: Optional[Iterable[FD]] = None,
+) -> FrozenSet[AttrSet]:
+    """Compute ``DEP(attrs)`` over *universe* for *mvds* (plus FD images).
+
+    Returns the set of blocks partitioning ``universe − attrs``.
+    """
+    uni = attrset(universe)
+    x = attrset(attrs) & uni
+    deps: List[MVD] = list(mvds)
+    if fds:
+        deps.extend(MVD(fd.lhs, fd.rhs) for fd in fds)
+
+    blocks: List[AttrSet] = [frozenset(uni - x)] if uni - x else []
+    changed = True
+    while changed:
+        changed = False
+        for dep in deps:
+            lhs = dep.lhs & uni
+            rhs = (dep.rhs & uni) - lhs
+            for block in list(blocks):
+                # An MVD V ↠ W splits a block Y when V is disjoint from Y
+                # (so fixing V cannot "use" Y) and W cuts Y properly.
+                if lhs & block:
+                    continue
+                inside = block & rhs
+                outside = block - rhs
+                if inside and outside:
+                    blocks.remove(block)
+                    blocks.append(frozenset(inside))
+                    blocks.append(frozenset(outside))
+                    changed = True
+    return frozenset(blocks)
+
+
+def mvd_in_basis(
+    mvd: MVD,
+    mvds: Iterable[MVD],
+    universe: AttrsLike,
+    fds: Optional[Iterable[FD]] = None,
+) -> bool:
+    """True iff *mvd* follows from *mvds* (and FD images) by the basis test."""
+    uni = attrset(universe)
+    basis = dependency_basis(mvd.lhs, mvds, uni, fds=fds)
+    target = (mvd.rhs - mvd.lhs) & uni
+    if not target:
+        return True
+    covered = frozenset().union(
+        *(block for block in basis if block <= target)
+    ) if basis else frozenset()
+    return covered == target

@@ -1,0 +1,61 @@
+"""Functional dependencies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.relational.attributes import AttrSet, AttrsLike, attrset, fmt_attrs
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class FD:
+    """A functional dependency ``lhs → rhs``.
+
+    Both sides are attribute sets; ``FD("AB", "C")`` uses the textbook
+    shorthand from :func:`repro.relational.attributes.attrset`.
+    """
+
+    lhs: AttrSet
+    rhs: AttrSet
+
+    def __init__(self, lhs: AttrsLike, rhs: AttrsLike):
+        object.__setattr__(self, "lhs", attrset(lhs))
+        object.__setattr__(self, "rhs", attrset(rhs))
+
+    @property
+    def attributes(self) -> AttrSet:
+        """All attributes mentioned by the dependency."""
+        return self.lhs | self.rhs
+
+    def is_trivial(self) -> bool:
+        """True iff ``rhs ⊆ lhs`` (implied by reflexivity alone)."""
+        return self.rhs <= self.lhs
+
+    def is_satisfied_by(self, relation: Relation) -> bool:
+        """Check satisfaction: no two rows agree on ``lhs`` but differ on ``rhs``."""
+        schema = relation.schema
+        lhs_idx = [schema.index(a) for a in sorted(self.lhs)]
+        rhs_idx = [schema.index(a) for a in sorted(self.rhs)]
+        seen: dict = {}
+        for row in relation.rows:
+            key = tuple(row[i] for i in lhs_idx)
+            val = tuple(row[i] for i in rhs_idx)
+            if seen.setdefault(key, val) != val:
+                return False
+        return True
+
+    def violating_pairs(self, relation: Relation):
+        """Yield row pairs witnessing a violation (empty when satisfied)."""
+        schema = relation.schema
+        lhs_idx = [schema.index(a) for a in sorted(self.lhs)]
+        rhs_idx = [schema.index(a) for a in sorted(self.rhs)]
+        for row_a, row_b in combinations(sorted(relation.rows, key=repr), 2):
+            same_lhs = all(row_a[i] == row_b[i] for i in lhs_idx)
+            same_rhs = all(row_a[i] == row_b[i] for i in rhs_idx)
+            if same_lhs and not same_rhs:
+                yield row_a, row_b
+
+    def __str__(self) -> str:
+        return f"{fmt_attrs(self.lhs)} -> {fmt_attrs(self.rhs)}"

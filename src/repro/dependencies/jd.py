@@ -1,0 +1,65 @@
+"""Join dependencies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Tuple
+
+from repro.relational.attributes import AttrSet, AttrsLike, attrset, fmt_attrs
+from repro.relational.algebra import natural_join, project
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class JD:
+    """A join dependency ``⋈[X1, ..., Xn]``.
+
+    A relation ``R`` over universe ``U = X1 ∪ ... ∪ Xn`` satisfies the JD iff
+    ``R = π_X1(R) ⋈ ... ⋈ π_Xn(R)``.  Every MVD ``X ↠ Y`` is the binary JD
+    ``⋈[XY, X(U−Y)]``; JDs are strictly more expressive (the paper's 5NFR
+    counterexample needs a ternary one).
+    """
+
+    components: Tuple[AttrSet, ...]
+
+    def __init__(self, *components: AttrsLike):
+        if len(components) < 2:
+            raise ValueError("a join dependency needs at least two components")
+        object.__setattr__(
+            self, "components", tuple(attrset(c) for c in components)
+        )
+
+    @property
+    def attributes(self) -> AttrSet:
+        """The union of all components (the JD's universe)."""
+        return frozenset().union(*self.components)
+
+    def is_trivial(self, universe: AttrsLike) -> bool:
+        """True iff some component covers the whole universe."""
+        uni = attrset(universe)
+        return any(c >= uni for c in self.components)
+
+    def is_satisfied_by(self, relation: Relation) -> bool:
+        """Check ``R = ⋈ π_components(R)``.
+
+        The join of projections always contains ``R``, so it suffices to
+        check the join does not produce extra tuples.
+        """
+        missing = self.attributes - relation.schema.attrset
+        if missing:
+            raise ValueError(
+                f"JD mentions attributes {sorted(missing)} absent from "
+                f"schema {relation.schema.name}"
+            )
+        projections = [project(relation, comp) for comp in self.components]
+        joined = reduce(natural_join, projections)
+        # Align column order with the original relation before comparing.
+        ordered = project(joined, relation.schema.attrset)
+        target_cols = [ordered.schema.index(a) for a in relation.schema.attributes]
+        joined_rows = {tuple(row[i] for i in target_cols) for row in ordered.rows}
+        return joined_rows == relation.rows
+
+    def __str__(self) -> str:
+        inner = ", ".join(fmt_attrs(c) for c in self.components)
+        return f"JOIN[{inner}]"

@@ -1,0 +1,53 @@
+"""Superkeys, candidate keys and prime attributes."""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, List
+
+from repro.dependencies.closure import attribute_closure
+from repro.dependencies.fd import FD
+from repro.relational.attributes import AttrSet, AttrsLike, attrset
+
+
+def is_superkey(attrs: AttrsLike, universe: AttrsLike, fds: Iterable[FD]) -> bool:
+    """True iff ``attrs → universe`` under *fds*."""
+    fds = list(fds)
+    return attrset(universe) <= attribute_closure(attrs, fds)
+
+
+def candidate_keys(universe: AttrsLike, fds: Iterable[FD]) -> List[AttrSet]:
+    """All candidate (minimal) keys of the relation ``universe`` under *fds*.
+
+    Uses the standard pruning: attributes appearing in no right-hand side
+    must belong to every key; attributes appearing in no left-hand side and
+    some right-hand side can belong to none.  The remaining middle
+    attributes are searched by increasing subset size, skipping supersets of
+    keys already found — exact and fast for the schema sizes dependency
+    theory deals in.
+    """
+    uni = attrset(universe)
+    fds = [fd for fd in fds if not fd.is_trivial()]
+    in_rhs = frozenset().union(*(fd.rhs for fd in fds)) if fds else frozenset()
+    in_lhs = frozenset().union(*(fd.lhs for fd in fds)) if fds else frozenset()
+    core = uni - in_rhs              # must be in every key
+    middle = sorted((in_lhs & in_rhs) & uni)
+
+    keys: List[AttrSet] = []
+    if attribute_closure(core, fds) >= uni:
+        return [frozenset(core)]
+
+    for size in range(1, len(middle) + 1):
+        for extra in combinations(middle, size):
+            candidate = frozenset(core | set(extra))
+            if any(found <= candidate for found in keys):
+                continue
+            if attribute_closure(candidate, fds) >= uni:
+                keys.append(candidate)
+    return sorted(keys, key=lambda k: (len(k), sorted(k)))
+
+
+def prime_attributes(universe: AttrsLike, fds: Iterable[FD]) -> FrozenSet[str]:
+    """Attributes belonging to at least one candidate key."""
+    keys = candidate_keys(universe, list(fds))
+    return frozenset().union(*keys) if keys else frozenset()

@@ -1,0 +1,80 @@
+"""Minimal (canonical) covers of FD sets.
+
+A minimal cover is an equivalent FD set in which every right-hand side is a
+single attribute, no left-hand side contains an extraneous attribute, and no
+dependency is redundant.  3NF synthesis (:mod:`repro.normalforms.threenf`)
+starts from a minimal cover, as in Bernstein's algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.dependencies.closure import attribute_closure, fd_implies
+from repro.dependencies.fd import FD
+
+
+def _split_rhs(fds: Iterable[FD]) -> List[FD]:
+    """Rewrite every FD to single-attribute right-hand sides."""
+    out = []
+    for fd in fds:
+        for attr in sorted(fd.rhs - fd.lhs):
+            out.append(FD(fd.lhs, {attr}))
+    return out
+
+
+def _drop_extraneous_lhs(fds: List[FD]) -> List[FD]:
+    """Remove attributes from left-hand sides that the rest still implies."""
+    result = list(fds)
+    changed = True
+    while changed:
+        changed = False
+        for i, fd in enumerate(result):
+            for attr in sorted(fd.lhs):
+                reduced = fd.lhs - {attr}
+                if not reduced:
+                    continue
+                if fd.rhs <= attribute_closure(reduced, result):
+                    result[i] = FD(reduced, fd.rhs)
+                    changed = True
+                    break
+            if changed:
+                break
+    return result
+
+
+def _drop_redundant(fds: List[FD]) -> List[FD]:
+    """Remove FDs implied by the others."""
+    result = list(fds)
+    for fd in list(result):
+        rest = [other for other in result if other != fd]
+        if rest and fd_implies(rest, fd):
+            result = rest
+    return result
+
+
+def minimal_cover(fds: Iterable[FD]) -> List[FD]:
+    """Compute a minimal cover of *fds*.
+
+    The output is deterministic for a given input order (ties in the
+    reduction steps are broken by sorted attribute order), equivalent to the
+    input, and contains no trivial dependencies.
+    """
+    split = [fd for fd in _split_rhs(fds) if not fd.is_trivial()]
+    # Deduplicate while keeping order deterministic.
+    seen = set()
+    unique = []
+    for fd in sorted(split, key=str):
+        if fd not in seen:
+            seen.add(fd)
+            unique.append(fd)
+    reduced = _drop_extraneous_lhs(unique)
+    # LHS reduction can make two FDs coincide; dedupe before the
+    # redundancy pass (which compares by value and would keep both).
+    seen.clear()
+    deduped = []
+    for fd in reduced:
+        if fd not in seen:
+            seen.add(fd)
+            deduped.append(fd)
+    return _drop_redundant(deduped)

@@ -1,0 +1,72 @@
+"""Multivalued dependencies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.attributes import AttrSet, AttrsLike, attrset, fmt_attrs
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class MVD:
+    """A multivalued dependency ``lhs ↠ rhs``.
+
+    Satisfaction over a relation with attribute universe ``U``: for every
+    pair of tuples agreeing on ``lhs`` there is a tuple combining the first
+    tuple's ``rhs − lhs`` values with the second tuple's
+    ``U − lhs − rhs`` values.  MVDs are inherently relative to ``U``; the
+    check takes the universe from the relation's schema.
+    """
+
+    lhs: AttrSet
+    rhs: AttrSet
+
+    def __init__(self, lhs: AttrsLike, rhs: AttrsLike):
+        object.__setattr__(self, "lhs", attrset(lhs))
+        object.__setattr__(self, "rhs", attrset(rhs))
+
+    @property
+    def attributes(self) -> AttrSet:
+        """All attributes mentioned by the dependency."""
+        return self.lhs | self.rhs
+
+    def is_trivial(self, universe: AttrsLike) -> bool:
+        """True iff implied by the universe alone: ``rhs ⊆ lhs`` or ``lhs ∪ rhs = U``."""
+        uni = attrset(universe)
+        return self.rhs <= self.lhs or (self.lhs | self.rhs) >= uni
+
+    def complement(self, universe: AttrsLike) -> "MVD":
+        """The complementation-rule partner ``lhs ↠ U − lhs − rhs``."""
+        uni = attrset(universe)
+        return MVD(self.lhs, uni - self.lhs - self.rhs)
+
+    def is_satisfied_by(self, relation: Relation) -> bool:
+        """Check MVD satisfaction against *relation* (universe = its schema)."""
+        schema = relation.schema
+        lhs_idx = [schema.index(a) for a in sorted(self.lhs)]
+        mid = sorted((self.rhs - self.lhs) & schema.attrset)
+        rest = sorted(schema.attrset - self.lhs - self.rhs)
+        mid_idx = [schema.index(a) for a in mid]
+        rest_idx = [schema.index(a) for a in rest]
+
+        groups: dict = {}
+        for row in relation.rows:
+            key = tuple(row[i] for i in lhs_idx)
+            groups.setdefault(key, []).append(row)
+
+        for rows in groups.values():
+            combos = {
+                (tuple(r[i] for i in mid_idx), tuple(r[i] for i in rest_idx))
+                for r in rows
+            }
+            mids = {m for m, _ in combos}
+            rests = {r for _, r in combos}
+            # The MVD holds on this group iff the (mid, rest) pairs form a
+            # full cartesian product mids × rests.
+            if len(combos) != len(mids) * len(rests):
+                return False
+        return True
+
+    def __str__(self) -> str:
+        return f"{fmt_attrs(self.lhs)} ->> {fmt_attrs(self.rhs)}"

@@ -1,0 +1,93 @@
+"""Projecting dependency sets onto sub-schemas.
+
+Decomposition algorithms must carry constraints down to the fragments they
+create.  For FDs the projection onto ``S`` is
+``{X → (X⁺ ∩ S) : X ⊆ S}`` (computed by attribute closure); for mixed
+FD/MVD sets the FD part uses chase-based implication (complete for full
+dependencies) and the MVD part uses the dependency-basis characterization
+of projected MVDs: ``X ↠ Y`` holds in every projection ``π_S(R)`` with
+``R ⊨ Σ`` iff ``Y`` is a union of sets ``b ∩ S`` for blocks ``b`` of the
+dependency basis of ``X``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Tuple
+
+from repro.dependencies.basis import dependency_basis
+from repro.dependencies.closure import attribute_closure
+from repro.dependencies.fd import FD
+from repro.dependencies.minimal_cover import minimal_cover
+from repro.dependencies.mvd import MVD
+from repro.relational.attributes import AttrsLike, attrset
+
+
+def _subsets(attrs, include_empty: bool = False):
+    items = sorted(attrs)
+    start = 0 if include_empty else 1
+    for size in range(start, len(items) + 1):
+        yield from (frozenset(c) for c in combinations(items, size))
+
+
+def project_fds(fds: Iterable[FD], attrs: AttrsLike) -> List[FD]:
+    """Project an FD set onto the attribute set *attrs*.
+
+    Returns a minimal cover of ``{X → A : X ⊆ attrs, A ∈ X⁺ ∩ attrs − X}``.
+    Exponential in ``|attrs|`` as unavoidable in the worst case; fine for
+    the schema sizes normalization deals in.
+    """
+    fds = list(fds)
+    target = attrset(attrs)
+    projected: List[FD] = []
+    for lhs in _subsets(target):
+        closure = attribute_closure(lhs, fds)
+        rhs = (closure & target) - lhs
+        if rhs:
+            projected.append(FD(lhs, rhs))
+    return minimal_cover(projected)
+
+
+def project_dependencies(
+    fds: Iterable[FD],
+    mvds: Iterable[MVD],
+    attrs: AttrsLike,
+    universe: AttrsLike,
+) -> Tuple[List[FD], List[MVD]]:
+    """Project a mixed FD/MVD set onto *attrs* (sub-universe of *universe*).
+
+    Returns ``(projected_fds, projected_mvds)``.  The FD part uses the
+    chase (complete for FD∪MVD implication); the MVD part uses the
+    dependency basis.  Trivial results are dropped.
+    """
+    from repro.chase.implication import implies  # local import: avoid cycle
+
+    fds, mvds = list(fds), list(mvds)
+    sigma = fds + mvds
+    uni = attrset(universe)
+    target = attrset(attrs)
+    if not target <= uni:
+        raise ValueError("projection attributes must be a subset of the universe")
+
+    out_fds: List[FD] = []
+    for lhs in _subsets(target):
+        rhs = frozenset(
+            a
+            for a in target - lhs
+            if implies(sigma, FD(lhs, {a}), universe=uni)
+        )
+        if rhs:
+            out_fds.append(FD(lhs, rhs))
+    out_fds = minimal_cover(out_fds)
+
+    out_mvds: List[MVD] = []
+    seen = set()
+    for lhs in _subsets(target, include_empty=True):
+        basis = dependency_basis(lhs, mvds, uni, fds=fds)
+        for block in basis:
+            rhs = (block & target) - lhs
+            mvd = MVD(lhs, rhs)
+            if rhs and not mvd.is_trivial(target) and mvd not in seen:
+                seen.add(mvd)
+                out_mvds.append(mvd)
+    return out_fds, out_mvds

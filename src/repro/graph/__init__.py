@@ -1,0 +1,52 @@
+"""Graph databases and query languages — the Mendelzon legacy.
+
+The award announcement credits Alberto Mendelzon's "pioneering and
+fundamental work"; his most influential technical line is the theory of
+graph query languages: regular path queries and their evaluation
+(Mendelzon & Wood, "Finding regular simple paths in graph databases"),
+conjunctive RPQs, and the visual language GraphLog (Consens & Mendelzon)
+defined by translation to stratified linear Datalog.
+
+- :mod:`repro.graph.graphdb` — edge-labeled graphs.
+- :mod:`repro.graph.regex` — path regular expressions (with inverses for
+  2RPQs) and a small parser.
+- :mod:`repro.graph.nfa` — Thompson construction and NFA utilities.
+- :mod:`repro.graph.rpq` — RPQ/2RPQ evaluation via the product
+  construction, plus the naive path-enumeration baseline (experiment E13).
+- :mod:`repro.graph.simplepath` — simple-path semantics (NP-hard in
+  general; exact backtracking for the sizes studied here).
+- :mod:`repro.graph.crpq` — conjunctive RPQs by joining RPQ relations.
+- :mod:`repro.graph.graphlog` — GraphLog queries translated to Datalog.
+"""
+
+from repro.graph.graphdb import GraphDB
+from repro.graph.regex import Regex, parse_regex
+from repro.graph.nfa import DFA, NFA, minimize_dfa, nfa_to_dfa, regex_to_nfa
+from repro.graph.io import parse_edge_list, to_edge_list
+from repro.graph.rpq import rpq_eval, rpq_eval_naive, rpq_pairs
+from repro.graph.simplepath import simple_path_pairs
+from repro.graph.crpq import CRPQ, RPQAtom, crpq_eval
+from repro.graph.graphlog import GraphLogEdge, GraphLogQuery, graphlog_eval
+
+__all__ = [
+    "GraphDB",
+    "Regex",
+    "parse_regex",
+    "NFA",
+    "DFA",
+    "regex_to_nfa",
+    "nfa_to_dfa",
+    "minimize_dfa",
+    "parse_edge_list",
+    "to_edge_list",
+    "rpq_eval",
+    "rpq_eval_naive",
+    "rpq_pairs",
+    "simple_path_pairs",
+    "CRPQ",
+    "RPQAtom",
+    "crpq_eval",
+    "GraphLogQuery",
+    "GraphLogEdge",
+    "graphlog_eval",
+]

@@ -1,0 +1,72 @@
+"""Conjunctive regular path queries (CRPQs).
+
+A CRPQ is a conjunction of RPQ atoms ``X --L--> Y`` over node variables
+with a projection list.  Evaluation computes each atom's answer relation
+with the product construction and joins them with the relational algebra
+substrate — the textbook reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Any, List, Sequence, Set, Tuple, Union
+
+from repro.graph.graphdb import GraphDB
+from repro.graph.nfa import NFA
+from repro.graph.regex import Regex
+from repro.graph.rpq import rpq_pairs
+from repro.relational.algebra import natural_join, project
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+@dataclass(frozen=True)
+class RPQAtom:
+    """One conjunct: ``src --query--> dst`` over node variables."""
+
+    src: str
+    query: Union[str, Regex, NFA]
+    dst: str
+
+    def __str__(self) -> str:
+        return f"{self.src} -[{self.query}]-> {self.dst}"
+
+
+@dataclass(frozen=True)
+class CRPQ:
+    """A conjunctive RPQ: atoms plus output variables."""
+
+    atoms: Tuple[RPQAtom, ...]
+    output: Tuple[str, ...]
+
+    def __init__(self, atoms: Sequence[RPQAtom], output: Sequence[str]):
+        object.__setattr__(self, "atoms", tuple(atoms))
+        object.__setattr__(self, "output", tuple(output))
+        variables = {v for atom in self.atoms for v in (atom.src, atom.dst)}
+        missing = set(self.output) - variables
+        if missing:
+            raise ValueError(f"output variables {sorted(missing)} unused")
+
+    def __str__(self) -> str:
+        body = ", ".join(str(a) for a in self.atoms)
+        return f"({', '.join(self.output)}) <- {body}"
+
+
+def crpq_eval(graph: GraphDB, query: CRPQ) -> Set[Tuple[Any, ...]]:
+    """Answer tuples of *query* over *graph* (set of output-var tuples)."""
+    relations: List[Relation] = []
+    for i, atom in enumerate(query.atoms):
+        pairs = rpq_pairs(graph, atom.query)
+        if atom.src == atom.dst:
+            schema = RelationSchema(f"a{i}", (atom.src,))
+            rel = Relation(schema, [(x,) for x, y in pairs if x == y])
+        else:
+            schema = RelationSchema(f"a{i}", (atom.src, atom.dst))
+            rel = Relation(schema, list(pairs))
+        relations.append(rel)
+
+    joined = reduce(natural_join, relations)
+    answers = project(joined, set(query.output), name="answers")
+    idx = [answers.schema.index(v) for v in query.output]
+    return {tuple(row[i] for i in idx) for row in answers.rows}

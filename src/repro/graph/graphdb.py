@@ -1,0 +1,81 @@
+"""Edge-labeled directed graphs (the graph-database model)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+Edge = Tuple[Any, str, Any]
+
+
+@dataclass
+class GraphDB:
+    """A graph database: nodes and labeled directed edges.
+
+    Nodes are arbitrary hashable values; edges are ``(source, label,
+    target)`` triples.  Adjacency indexes (forward and backward, per
+    label) are maintained incrementally so RPQ evaluation stays linear in
+    the edges it touches.
+    """
+
+    nodes: Set[Any] = field(default_factory=set)
+    edges: Set[Edge] = field(default_factory=set)
+
+    def __post_init__(self):
+        self._fwd: Dict[Tuple[Any, str], List[Any]] = {}
+        self._bwd: Dict[Tuple[Any, str], List[Any]] = {}
+        for edge in list(self.edges):
+            self._index(edge)
+
+    def _index(self, edge: Edge) -> None:
+        src, label, dst = edge
+        self._fwd.setdefault((src, label), []).append(dst)
+        self._bwd.setdefault((dst, label), []).append(src)
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Edge]) -> "GraphDB":
+        """Build a graph from edge triples (nodes inferred)."""
+        graph = cls()
+        for src, label, dst in edges:
+            graph.add_edge(src, label, dst)
+        return graph
+
+    def add_node(self, node: Any) -> None:
+        """Add an isolated node."""
+        self.nodes.add(node)
+
+    def add_edge(self, src: Any, label: str, dst: Any) -> None:
+        """Add an edge (and its endpoints)."""
+        edge = (src, label, dst)
+        if edge in self.edges:
+            return
+        self.nodes.add(src)
+        self.nodes.add(dst)
+        self.edges.add(edge)
+        self._index(edge)
+
+    def successors(self, node: Any, label: str) -> List[Any]:
+        """Targets of ``node --label-->`` edges."""
+        return self._fwd.get((node, label), [])
+
+    def predecessors(self, node: Any, label: str) -> List[Any]:
+        """Sources of ``--label--> node`` edges."""
+        return self._bwd.get((node, label), [])
+
+    def labels(self) -> FrozenSet[str]:
+        """All edge labels."""
+        return frozenset(label for _s, label, _d in self.edges)
+
+    def out_edges(self, node: Any) -> Iterator[Edge]:
+        """All edges leaving *node*."""
+        for (src, label), dsts in self._fwd.items():
+            if src == node:
+                for dst in dsts:
+                    yield (src, label, dst)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def edge_count(self) -> int:
+        """Number of edges."""
+        return len(self.edges)

@@ -1,0 +1,134 @@
+"""GraphLog (Consens & Mendelzon, PODS 1990).
+
+A GraphLog query is itself a graph: nodes are variables, edges are
+labeled with path regexes and may be negated, and one distinguished edge
+defines the output relation.  Semantics is by translation to stratified
+linear Datalog — which is exactly how this module evaluates it:
+
+- each label becomes an EDB predicate ``edge_<label>(src, dst)``;
+- each regex edge compiles its NFA into linear rules, one predicate per
+  NFA state (``reach_i_q(X, Y)``: a word takes the NFA from the start
+  state to ``q`` along a path from ``X`` to ``Y``);
+- the distinguished edge's rule joins all positive edges and negates the
+  negated ones (stratified by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Set, Tuple, Union
+
+from repro.datalog.ast import Atom, Program, Rule, Var
+from repro.datalog.engine import Database, evaluate
+from repro.graph.graphdb import GraphDB
+from repro.graph.nfa import EPSILON, NFA, regex_to_nfa
+from repro.graph.regex import Regex, parse_regex
+
+
+@dataclass(frozen=True)
+class GraphLogEdge:
+    """A query-graph edge: ``src --regex--> dst``, possibly negated."""
+
+    src: str
+    query: Union[str, Regex]
+    dst: str
+    negated: bool = False
+
+    def __str__(self) -> str:
+        bang = "!" if self.negated else ""
+        return f"{self.src} {bang}-[{self.query}]-> {self.dst}"
+
+
+@dataclass(frozen=True)
+class GraphLogQuery:
+    """A GraphLog query graph with a distinguished output pair."""
+
+    edges: Tuple[GraphLogEdge, ...]
+    output: Tuple[str, str]
+
+    def __init__(self, edges: Sequence[GraphLogEdge], output: Tuple[str, str]):
+        object.__setattr__(self, "edges", tuple(edges))
+        object.__setattr__(self, "output", tuple(output))
+        positive_vars = {
+            v for e in self.edges if not e.negated for v in (e.src, e.dst)
+        }
+        for edge in self.edges:
+            if edge.negated and not {edge.src, edge.dst} <= positive_vars:
+                raise ValueError(
+                    f"negated edge {edge} must have both endpoints bound "
+                    "by positive edges"
+                )
+        if not set(self.output) <= positive_vars:
+            raise ValueError("output variables must appear on positive edges")
+
+
+def _nfa_rules(nfa: NFA, prefix: str) -> Tuple[List[Rule], str]:
+    """Linear Datalog rules computing the NFA's reachability relation."""
+    rules: List[Rule] = []
+    x, y, z = Var("X"), Var("Y"), Var("Z")
+
+    def pred(state: int) -> str:
+        return f"{prefix}_s{state}"
+
+    rules.append(Rule(Atom(pred(nfa.start), [x, x]), [Atom("node", [x])]))
+    for src, arcs in nfa.transitions.items():
+        for (label, inverse), dst in arcs:
+            if (label, inverse) == EPSILON:
+                rules.append(
+                    Rule(Atom(pred(dst), [x, y]), [Atom(pred(src), [x, y])])
+                )
+            elif inverse:
+                rules.append(
+                    Rule(
+                        Atom(pred(dst), [x, y]),
+                        [Atom(pred(src), [x, z]), Atom(f"edge_{label}", [y, z])],
+                    )
+                )
+            else:
+                rules.append(
+                    Rule(
+                        Atom(pred(dst), [x, y]),
+                        [Atom(pred(src), [x, z]), Atom(f"edge_{label}", [z, y])],
+                    )
+                )
+    result_pred = prefix
+    rules.append(
+        Rule(Atom(result_pred, [x, y]), [Atom(pred(nfa.accept), [x, y])])
+    )
+    return rules, result_pred
+
+
+def graphlog_to_datalog(query: GraphLogQuery) -> Tuple[Program, str]:
+    """Translate *query* to a Datalog program; returns (program, answer
+    predicate)."""
+    program = Program()
+    body: List[Atom] = []
+    for i, edge in enumerate(query.edges):
+        regex = (
+            parse_regex(edge.query) if isinstance(edge.query, str) else edge.query
+        )
+        nfa = regex_to_nfa(regex)
+        rules, pred = _nfa_rules(nfa, f"reach_{i}")
+        for rule in rules:
+            program.add(rule)
+        body.append(
+            Atom(pred, [Var(edge.src), Var(edge.dst)], negated=edge.negated)
+        )
+    answer = Atom("answer", [Var(query.output[0]), Var(query.output[1])])
+    program.add(Rule(answer, body))
+    return program, "answer"
+
+
+def graph_edb(graph: GraphDB) -> Database:
+    """The EDB of a graph: ``node/1`` plus ``edge_<label>/2`` facts."""
+    edb: Database = {"node": {(n,) for n in graph.nodes}}
+    for src, label, dst in graph.edges:
+        edb.setdefault(f"edge_{label}", set()).add((src, dst))
+    return edb
+
+
+def graphlog_eval(graph: GraphDB, query: GraphLogQuery) -> Set[Tuple[Any, Any]]:
+    """Evaluate *query* over *graph* via the Datalog translation."""
+    program, answer = graphlog_to_datalog(query)
+    model = evaluate(program, graph_edb(graph))
+    return set(model.get(answer, set()))

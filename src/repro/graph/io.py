@@ -1,0 +1,50 @@
+"""Edge-list text format for graph databases.
+
+One edge per line, whitespace-separated: ``source label target``.
+Comments start with ``#``; blank lines are ignored.  Node names parse as
+integers when they look like integers (so round-trips preserve the
+generators' integer nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.graph.graphdb import GraphDB
+
+
+def _parse_node(token: str) -> Any:
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def parse_edge_list(text: str) -> GraphDB:
+    """Parse an edge-list string into a :class:`GraphDB`."""
+    graph = GraphDB()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise ValueError(
+                f"line {lineno}: expected 'source label target', got {raw!r}"
+            )
+        src, label, dst = parts
+        graph.add_edge(_parse_node(src), label, _parse_node(dst))
+    return graph
+
+
+def to_edge_list(graph: GraphDB) -> str:
+    """Serialize a graph as a sorted edge-list string (stable for diffs).
+
+    The format carries edges only: isolated nodes are not representable
+    and are dropped on a round-trip.
+    """
+    lines = [
+        f"{src} {label} {dst}"
+        for src, label, dst in sorted(graph.edges, key=repr)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,260 @@
+"""NFAs over edge labels (forward and inverse) via Thompson construction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.graph.regex import (
+    Concat,
+    Eps,
+    Inv,
+    Opt,
+    Plus,
+    Regex,
+    Star,
+    Sym,
+    Union_,
+)
+
+#: A transition symbol: (label, is_inverse).
+Symbol = Tuple[str, bool]
+
+EPSILON: Symbol = ("", False)
+
+
+@dataclass
+class NFA:
+    """A nondeterministic finite automaton with one start and one accept
+    state (Thompson normal form)."""
+
+    start: int
+    accept: int
+    transitions: Dict[int, List[Tuple[Symbol, int]]] = field(default_factory=dict)
+
+    def states(self) -> Set[int]:
+        """All states."""
+        out = {self.start, self.accept}
+        for src, arcs in self.transitions.items():
+            out.add(src)
+            out.update(dst for _sym, dst in arcs)
+        return out
+
+    def add(self, src: int, symbol: Symbol, dst: int) -> None:
+        """Add a transition."""
+        self.transitions.setdefault(src, []).append((symbol, dst))
+
+    def epsilon_closure(self, states: Set[int]) -> FrozenSet[int]:
+        """All states reachable via epsilon transitions."""
+        stack = list(states)
+        seen = set(states)
+        while stack:
+            state = stack.pop()
+            for symbol, dst in self.transitions.get(state, ()):
+                if symbol == EPSILON and dst not in seen:
+                    seen.add(dst)
+                    stack.append(dst)
+        return frozenset(seen)
+
+    def step(self, states: Set[int], symbol: Symbol) -> FrozenSet[int]:
+        """One symbol step followed by epsilon closure."""
+        moved = {
+            dst
+            for state in states
+            for sym, dst in self.transitions.get(state, ())
+            if sym == symbol
+        }
+        return self.epsilon_closure(moved)
+
+    def accepts(self, word: List[Symbol]) -> bool:
+        """Membership of a symbol word."""
+        current = self.epsilon_closure({self.start})
+        for symbol in word:
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return self.accept in current
+
+    def alphabet(self) -> Set[Symbol]:
+        """Non-epsilon symbols used by the automaton."""
+        return {
+            sym
+            for arcs in self.transitions.values()
+            for sym, _dst in arcs
+            if sym != EPSILON
+        }
+
+
+@dataclass
+class DFA:
+    """A deterministic automaton from the subset construction.
+
+    States are integers; missing transitions are rejecting.  Used by the
+    RPQ engine's ``use_dfa`` mode: the product search then tracks a single
+    automaton state per graph node instead of a state set.
+    """
+
+    start: int
+    accepting: FrozenSet[int]
+    transitions: Dict[Tuple[int, Symbol], int] = field(default_factory=dict)
+
+    def step(self, state: int, symbol: Symbol) -> int:
+        """Next state, or -1 for the (implicit) dead state."""
+        return self.transitions.get((state, symbol), -1)
+
+    def accepts(self, word) -> bool:
+        """Membership of a symbol word."""
+        state = self.start
+        for symbol in word:
+            state = self.step(state, symbol)
+            if state < 0:
+                return False
+        return state in self.accepting
+
+    def state_count(self) -> int:
+        """Number of reachable states."""
+        states = {self.start} | {s for (s, _), t in self.transitions.items()}
+        states |= {t for t in self.transitions.values()}
+        return len(states)
+
+
+def minimize_dfa(dfa: DFA) -> DFA:
+    """Minimize a DFA by partition refinement (Moore's algorithm).
+
+    The implicit dead state participates in the refinement so that
+    partial transition functions minimize correctly; it is dropped again
+    from the output.
+    """
+    alphabet = sorted({symbol for (_s, symbol) in dfa.transitions})
+    states = sorted(
+        {dfa.start}
+        | {s for (s, _sym) in dfa.transitions}
+        | set(dfa.transitions.values())
+    )
+    dead = -1
+    all_states = states + [dead]
+
+    def step(state: int, symbol: Symbol) -> int:
+        if state == dead:
+            return dead
+        return dfa.transitions.get((state, symbol), dead)
+
+    # Initial partition: accepting vs non-accepting (dead is rejecting).
+    block_of = {
+        s: (0 if s in dfa.accepting else 1) for s in all_states
+    }
+    changed = True
+    while changed:
+        changed = False
+        signature = {
+            s: (block_of[s],) + tuple(block_of[step(s, a)] for a in alphabet)
+            for s in all_states
+        }
+        renumber: Dict[Tuple, int] = {}
+        new_block_of = {}
+        for s in all_states:
+            new_block_of[s] = renumber.setdefault(signature[s], len(renumber))
+        if new_block_of != block_of:
+            block_of = new_block_of
+            changed = True
+
+    dead_block = block_of[dead]
+    transitions: Dict[Tuple[int, Symbol], int] = {}
+    for s in states:
+        for a in alphabet:
+            target = step(s, a)
+            if target != dead and block_of[target] != dead_block:
+                transitions[(block_of[s], a)] = block_of[target]
+    accepting = frozenset(block_of[s] for s in dfa.accepting)
+    return DFA(
+        start=block_of[dfa.start],
+        accepting=accepting,
+        transitions=transitions,
+    )
+
+
+def nfa_to_dfa(nfa: NFA) -> DFA:
+    """The subset construction (over the NFA's own alphabet)."""
+    alphabet = sorted(nfa.alphabet())
+    start_set = nfa.epsilon_closure({nfa.start})
+    numbering: Dict[FrozenSet[int], int] = {start_set: 0}
+    worklist = [start_set]
+    transitions: Dict[Tuple[int, Symbol], int] = {}
+    accepting = set()
+    if nfa.accept in start_set:
+        accepting.add(0)
+
+    while worklist:
+        current = worklist.pop()
+        current_id = numbering[current]
+        for symbol in alphabet:
+            target = nfa.step(set(current), symbol)
+            if not target:
+                continue
+            if target not in numbering:
+                numbering[target] = len(numbering)
+                worklist.append(target)
+                if nfa.accept in target:
+                    accepting.add(numbering[target])
+            transitions[(current_id, symbol)] = numbering[target]
+    return DFA(start=0, accepting=frozenset(accepting), transitions=transitions)
+
+
+class _Builder:
+    def __init__(self):
+        self.counter = 0
+        self.nfa = NFA(start=0, accept=0, transitions={})
+
+    def fresh(self) -> int:
+        self.counter += 1
+        return self.counter - 1
+
+    def build(self, regex: Regex) -> Tuple[int, int]:
+        if isinstance(regex, Sym):
+            s, t = self.fresh(), self.fresh()
+            self.nfa.add(s, (regex.label, False), t)
+            return s, t
+        if isinstance(regex, Inv):
+            s, t = self.fresh(), self.fresh()
+            self.nfa.add(s, (regex.label, True), t)
+            return s, t
+        if isinstance(regex, Eps):
+            s, t = self.fresh(), self.fresh()
+            self.nfa.add(s, EPSILON, t)
+            return s, t
+        if isinstance(regex, Concat):
+            s1, t1 = self.build(regex.left)
+            s2, t2 = self.build(regex.right)
+            self.nfa.add(t1, EPSILON, s2)
+            return s1, t2
+        if isinstance(regex, Union_):
+            s, t = self.fresh(), self.fresh()
+            s1, t1 = self.build(regex.left)
+            s2, t2 = self.build(regex.right)
+            self.nfa.add(s, EPSILON, s1)
+            self.nfa.add(s, EPSILON, s2)
+            self.nfa.add(t1, EPSILON, t)
+            self.nfa.add(t2, EPSILON, t)
+            return s, t
+        if isinstance(regex, Star):
+            s, t = self.fresh(), self.fresh()
+            s1, t1 = self.build(regex.inner)
+            self.nfa.add(s, EPSILON, s1)
+            self.nfa.add(s, EPSILON, t)
+            self.nfa.add(t1, EPSILON, s1)
+            self.nfa.add(t1, EPSILON, t)
+            return s, t
+        if isinstance(regex, Plus):
+            return self.build(Concat(regex.inner, Star(regex.inner)))
+        if isinstance(regex, Opt):
+            return self.build(Union_(regex.inner, Eps()))
+        raise TypeError(f"unknown regex node: {regex!r}")
+
+
+def regex_to_nfa(regex: Regex) -> NFA:
+    """Thompson construction."""
+    builder = _Builder()
+    start, accept = builder.build(regex)
+    builder.nfa.start = start
+    builder.nfa.accept = accept
+    return builder.nfa

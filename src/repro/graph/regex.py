@@ -1,0 +1,194 @@
+"""Path regular expressions with inverse steps (for 2RPQs).
+
+AST nodes: symbol, inverse symbol, epsilon, concatenation, union, star,
+plus, optional.  :func:`parse_regex` accepts a compact syntax::
+
+    a              an edge labeled a
+    a-             an a-edge traversed backwards (2RPQ inverse)
+    a.b            concatenation
+    a|b            union
+    a* a+ a?       closure / plus / optional
+    (a.b)*         grouping
+
+Precedence: postfix > concatenation > union.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+class Regex:
+    """Base class for path-regex AST nodes."""
+
+    def star(self) -> "Regex":
+        """Kleene closure of this expression."""
+        return Star(self)
+
+    def plus(self) -> "Regex":
+        """One-or-more closure."""
+        return Plus(self)
+
+    def opt(self) -> "Regex":
+        """Zero-or-one."""
+        return Opt(self)
+
+    def then(self, other: "Regex") -> "Regex":
+        """Concatenation."""
+        return Concat(self, other)
+
+    def alt(self, other: "Regex") -> "Regex":
+        """Union."""
+        return Union_(self, other)
+
+
+@dataclass(frozen=True)
+class Sym(Regex):
+    """A forward edge label."""
+
+    label: str
+
+    def __str__(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True)
+class Inv(Regex):
+    """A backward (inverse) edge label — the 2RPQ extension."""
+
+    label: str
+
+    def __str__(self) -> str:
+        return f"{self.label}-"
+
+
+@dataclass(frozen=True)
+class Eps(Regex):
+    """The empty word."""
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Concatenation of two expressions."""
+
+    left: Regex
+    right: Regex
+
+    def __str__(self) -> str:
+        return f"{self.left}.{self.right}"
+
+
+@dataclass(frozen=True)
+class Union_(Regex):
+    """Union of two expressions."""
+
+    left: Regex
+    right: Regex
+
+    def __str__(self) -> str:
+        return f"({self.left}|{self.right})"
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene star."""
+
+    inner: Regex
+
+    def __str__(self) -> str:
+        return f"({self.inner})*"
+
+
+@dataclass(frozen=True)
+class Plus(Regex):
+    """One or more."""
+
+    inner: Regex
+
+    def __str__(self) -> str:
+        return f"({self.inner})+"
+
+
+@dataclass(frozen=True)
+class Opt(Regex):
+    """Zero or one."""
+
+    inner: Regex
+
+    def __str__(self) -> str:
+        return f"({self.inner})?"
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def take(self) -> str:
+        ch = self.peek()
+        self.pos += 1
+        return ch
+
+    def parse(self) -> Regex:
+        expr = self.union()
+        if self.pos != len(self.text):
+            raise ValueError(
+                f"trailing input at {self.pos} in {self.text!r}"
+            )
+        return expr
+
+    def union(self) -> Regex:
+        left = self.concat()
+        while self.peek() == "|":
+            self.take()
+            left = Union_(left, self.concat())
+        return left
+
+    def concat(self) -> Regex:
+        left = self.postfix()
+        while self.peek() == ".":
+            self.take()
+            left = Concat(left, self.postfix())
+        return left
+
+    def postfix(self) -> Regex:
+        expr = self.atom()
+        while self.peek() and self.peek() in "*+?":
+            op = self.take()
+            expr = {"*": Star, "+": Plus, "?": Opt}[op](expr)
+        return expr
+
+    def atom(self) -> Regex:
+        if self.peek() == "(":
+            self.take()
+            if self.peek() == ")":
+                self.take()
+                return Eps()
+            inner = self.union()
+            if self.take() != ")":
+                raise ValueError(f"unbalanced parenthesis in {self.text!r}")
+            return inner
+        name = []
+        while self.peek() and (self.peek().isalnum() or self.peek() == "_"):
+            name.append(self.take())
+        if not name:
+            raise ValueError(
+                f"expected a label at {self.pos} in {self.text!r}"
+            )
+        label = "".join(name)
+        if self.peek() == "-":
+            self.take()
+            return Inv(label)
+        return Sym(label)
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse the compact path-regex syntax (see module docstring)."""
+    return _Parser(text.replace(" ", "")).parse()

@@ -1,0 +1,158 @@
+"""Regular path query evaluation.
+
+The standard algorithm is the *product construction*: BFS over the
+implicit product of the graph and the query NFA — states are (node, NFA
+state) pairs — which answers ``x ⟶_L y`` in time linear in
+``|G| × |NFA|``.  Inverse symbols traverse edges backwards, giving 2RPQs
+for free.
+
+:func:`rpq_eval_naive` is the deliberately naive baseline kept for
+experiment E13: enumerate label paths up to a bound and test each word
+against the NFA.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.graph.graphdb import GraphDB
+from repro.graph.nfa import EPSILON, NFA, regex_to_nfa
+from repro.graph.regex import Regex, parse_regex
+
+Pair = Tuple[Any, Any]
+
+
+def _as_nfa(query: Union[str, Regex, NFA]) -> NFA:
+    if isinstance(query, NFA):
+        return query
+    if isinstance(query, str):
+        query = parse_regex(query)
+    return regex_to_nfa(query)
+
+
+def rpq_eval(
+    graph: GraphDB,
+    query: Union[str, Regex, NFA],
+    sources: Optional[Iterable[Any]] = None,
+) -> Set[Pair]:
+    """All pairs ``(x, y)`` with an ``L``-path from ``x`` to ``y``.
+
+    *sources* restricts the ``x`` side (defaults to every node).  Product
+    BFS from each source; complexity ``O(|sources| · |E| · |NFA|)``.
+    """
+    nfa = _as_nfa(query)
+    result: Set[Pair] = set()
+    source_nodes = list(sources) if sources is not None else sorted(
+        graph.nodes, key=repr
+    )
+    for src in source_nodes:
+        for dst in rpq_reachable(graph, nfa, src):
+            result.add((src, dst))
+    return result
+
+
+def rpq_reachable(
+    graph: GraphDB,
+    query: Union[str, Regex, NFA],
+    source: Any,
+    use_dfa: bool = False,
+) -> Set[Any]:
+    """Nodes reachable from *source* along a path in the query language.
+
+    With ``use_dfa`` the query automaton is determinized first (subset
+    construction); the product search then has at most
+    ``|V| · |DFA states|`` configurations with no epsilon bookkeeping —
+    usually faster for star-heavy expressions at the cost of the
+    (worst-case exponential) determinization.
+    """
+    if use_dfa:
+        return _rpq_reachable_dfa(graph, query, source)
+    nfa = _as_nfa(query)
+    start_states = nfa.epsilon_closure({nfa.start})
+    frontier = deque((source, q) for q in start_states)
+    seen: Set[Tuple[Any, int]] = set(frontier)
+    out: Set[Any] = set()
+    while frontier:
+        node, state = frontier.popleft()
+        if state == nfa.accept:
+            out.add(node)
+        for (label, inverse), nxt in nfa.transitions.get(state, ()):
+            if (label, inverse) == EPSILON:
+                targets = [node]
+            elif inverse:
+                targets = graph.predecessors(node, label)
+            else:
+                targets = graph.successors(node, label)
+            for target in targets:
+                pair = (target, nxt)
+                if pair not in seen:
+                    seen.add(pair)
+                    frontier.append(pair)
+    return out
+
+
+def _rpq_reachable_dfa(
+    graph: GraphDB, query: Union[str, Regex, NFA], source: Any
+) -> Set[Any]:
+    from repro.graph.nfa import nfa_to_dfa
+
+    dfa = nfa_to_dfa(_as_nfa(query))
+    by_state: dict = {}
+    for (from_state, symbol), to_state in dfa.transitions.items():
+        by_state.setdefault(from_state, []).append((symbol, to_state))
+
+    frontier = deque([(source, dfa.start)])
+    seen: Set[Tuple[Any, int]] = {(source, dfa.start)}
+    out: Set[Any] = set()
+    while frontier:
+        node, state = frontier.popleft()
+        if state in dfa.accepting:
+            out.add(node)
+        for (label, inverse), to_state in by_state.get(state, ()):
+            targets = (
+                graph.predecessors(node, label)
+                if inverse
+                else graph.successors(node, label)
+            )
+            for target in targets:
+                pair = (target, to_state)
+                if pair not in seen:
+                    seen.add(pair)
+                    frontier.append(pair)
+    return out
+
+
+def rpq_pairs(graph: GraphDB, query: Union[str, Regex, NFA]) -> Set[Pair]:
+    """Alias of :func:`rpq_eval` over all sources (the RPQ answer relation)."""
+    return rpq_eval(graph, query)
+
+
+def rpq_eval_naive(
+    graph: GraphDB,
+    query: Union[str, Regex, NFA],
+    max_length: int,
+) -> Set[Pair]:
+    """Naive baseline: enumerate forward label paths up to *max_length*
+    edges and test each label word against the NFA.
+
+    Sound but complete only up to the length bound (and only for
+    inverse-free queries); exists to give experiment E13 its contrast.
+    """
+    nfa = _as_nfa(query)
+    result: Set[Pair] = set()
+    empty_ok = nfa.accept in nfa.epsilon_closure({nfa.start})
+    for src in graph.nodes:
+        if empty_ok:
+            result.add((src, src))
+        stack: List[Tuple[Any, List]] = [(src, [])]
+        while stack:
+            node, word = stack.pop()
+            if len(word) >= max_length:
+                continue
+            for (edge_src, label, dst) in list(graph.out_edges(node)):
+                new_word = word + [(label, False)]
+                if nfa.accepts(new_word):
+                    result.add((src, dst))
+                stack.append((dst, new_word))
+    return result

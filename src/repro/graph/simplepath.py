@@ -1,0 +1,58 @@
+"""Regular *simple* path queries (Mendelzon & Wood).
+
+Under simple-path semantics a pair ``(x, y)`` qualifies only if some path
+from ``x`` to ``y`` whose label word is in the language repeats no node.
+Mendelzon & Wood proved this NP-hard in general (e.g. ``(aa)*``); the
+exact backtracking below is fine for the graph sizes studied here and is
+exactly the semantics their paper analyzes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Set, Tuple, Union
+
+from repro.graph.graphdb import GraphDB
+from repro.graph.nfa import NFA, regex_to_nfa
+from repro.graph.regex import Regex, parse_regex
+
+Pair = Tuple[Any, Any]
+
+
+def _as_nfa(query: Union[str, Regex, NFA]) -> NFA:
+    if isinstance(query, NFA):
+        return query
+    if isinstance(query, str):
+        query = parse_regex(query)
+    return regex_to_nfa(query)
+
+
+def simple_path_reachable(
+    graph: GraphDB, query: Union[str, Regex, NFA], source: Any
+) -> Set[Any]:
+    """Nodes reachable from *source* along a **simple** path in the
+    language (exact backtracking over (visited-set, NFA-state) search)."""
+    nfa = _as_nfa(query)
+    out: Set[Any] = set()
+    start = nfa.epsilon_closure({nfa.start})
+
+    def dfs(node: Any, states: FrozenSet[int], visited: frozenset) -> None:
+        if nfa.accept in states:
+            out.add(node)
+        for (edge_src, label, dst) in graph.out_edges(node):
+            if dst in visited:
+                continue
+            nxt = nfa.step(states, (label, False))
+            if nxt:
+                dfs(dst, nxt, visited | {dst})
+
+    dfs(source, start, frozenset([source]))
+    return out
+
+
+def simple_path_pairs(graph: GraphDB, query: Union[str, Regex, NFA]) -> Set[Pair]:
+    """All pairs connected by a simple path in the language."""
+    result: Set[Pair] = set()
+    for src in graph.nodes:
+        for dst in simple_path_reachable(graph, query, src):
+            result.add((src, dst))
+    return result

@@ -1,0 +1,26 @@
+"""Normal-form tests and normalization algorithms.
+
+The Arenas–Libkin characterization theorems are stated against the
+classical normal forms; this package provides the tests (2NF, 3NF, BCNF,
+4NF, PJ/NF) and the normalization algorithms (BCNF decomposition, 3NF
+synthesis, 4NF decomposition) that the experiments compare the
+information-theoretic measure against.
+"""
+
+from repro.normalforms.fragment import Fragment
+from repro.normalforms.checks import is_2nf, is_3nf, is_4nf, is_bcnf, is_pjnf
+from repro.normalforms.bcnf import bcnf_decompose
+from repro.normalforms.threenf import threenf_synthesize
+from repro.normalforms.fournf import fournf_decompose
+
+__all__ = [
+    "Fragment",
+    "is_2nf",
+    "is_3nf",
+    "is_bcnf",
+    "is_4nf",
+    "is_pjnf",
+    "bcnf_decompose",
+    "threenf_synthesize",
+    "fournf_decompose",
+]

@@ -1,0 +1,149 @@
+"""Normal-form membership tests.
+
+All tests take the relation's attribute universe plus its dependency set —
+the "schema" in the sense of the paper's pair ``(S, Σ)``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Optional
+
+from repro.chase.implication import implies
+from repro.dependencies.basis import dependency_basis
+from repro.dependencies.closure import attribute_closure
+from repro.dependencies.fd import FD
+from repro.dependencies.jd import JD
+from repro.dependencies.keys import candidate_keys, is_superkey, prime_attributes
+from repro.dependencies.mvd import MVD
+from repro.relational.attributes import AttrsLike, attrset
+
+
+def is_bcnf(universe: AttrsLike, fds: Iterable[FD]) -> bool:
+    """Boyce–Codd normal form: every nontrivial FD has a superkey LHS.
+
+    Checking the given FDs suffices: any implied violation exhibits a given
+    violation (standard result), so no closure enumeration is needed.
+    """
+    uni = attrset(universe)
+    fds = list(fds)
+    for fd in fds:
+        if fd.is_trivial():
+            continue
+        if not is_superkey(fd.lhs, uni, fds):
+            return False
+    return True
+
+
+def is_3nf(universe: AttrsLike, fds: Iterable[FD]) -> bool:
+    """Third normal form: for every nontrivial ``X → A``, ``X`` is a
+    superkey or ``A`` is prime.
+
+    Unlike BCNF, 3NF must be tested against single-attribute consequents of
+    the *closure*; testing a minimal cover of the given set is equivalent
+    and is what we do (violations survive in every cover).
+    """
+    uni = attrset(universe)
+    fds = list(fds)
+    prime = prime_attributes(uni, fds)
+    for fd in fds:
+        for attr in fd.rhs - fd.lhs:
+            if attr in prime:
+                continue
+            if not is_superkey(fd.lhs, uni, fds):
+                return False
+    return True
+
+
+def is_2nf(universe: AttrsLike, fds: Iterable[FD]) -> bool:
+    """Second normal form: every nonprime attribute is *fully* dependent on
+    every candidate key (no proper subset of a key determines it)."""
+    uni = attrset(universe)
+    fds = list(fds)
+    prime = prime_attributes(uni, fds)
+    nonprime = uni - prime
+    for key in candidate_keys(uni, fds):
+        for size in range(1, len(key)):
+            for subset in combinations(sorted(key), size):
+                closure = attribute_closure(frozenset(subset), fds)
+                if (closure & nonprime) - frozenset(subset):
+                    return False
+    return True
+
+
+def _violating_mvd(
+    universe: frozenset, fds: List[FD], mvds: List[MVD], lhs_pool
+) -> Optional[MVD]:
+    """First nontrivial MVD with a non-superkey LHS among implied MVDs with
+    LHS drawn from *lhs_pool* (dependency-basis driven)."""
+    sigma = fds + mvds
+    for lhs in lhs_pool:
+        if implies(sigma, FD(lhs, universe), universe=universe):
+            continue  # lhs is a superkey; nothing with this lhs violates
+        basis = dependency_basis(lhs, mvds, universe, fds=fds)
+        for block in basis:
+            mvd = MVD(lhs, block)
+            if not mvd.is_trivial(universe):
+                return mvd
+    return None
+
+
+def find_4nf_violation(
+    universe: AttrsLike,
+    fds: Iterable[FD],
+    mvds: Iterable[MVD],
+    exhaustive: bool = True,
+) -> Optional[MVD]:
+    """A nontrivial implied MVD whose LHS is not a superkey, or ``None``.
+
+    With ``exhaustive`` (default) every LHS subset of the universe is
+    examined via the dependency basis — exact for the universes
+    normalization deals in.  With ``exhaustive=False`` only the LHSs of the
+    given dependencies are tried (the textbook test; sufficient when the
+    given set is a cover whose interactions produce no new violating LHS).
+    """
+    uni = attrset(universe)
+    fds, mvds = list(fds), list(mvds)
+    if exhaustive:
+        items = sorted(uni)
+        pool = (
+            frozenset(c)
+            for size in range(len(items))
+            for c in combinations(items, size)
+        )
+    else:
+        pool = (dep.lhs for dep in fds + mvds)
+    return _violating_mvd(uni, fds, mvds, pool)
+
+
+def is_4nf(
+    universe: AttrsLike,
+    fds: Iterable[FD],
+    mvds: Iterable[MVD],
+    exhaustive: bool = True,
+) -> bool:
+    """Fourth normal form: every nontrivial implied MVD has a superkey LHS."""
+    return find_4nf_violation(universe, fds, mvds, exhaustive=exhaustive) is None
+
+
+def is_pjnf(
+    universe: AttrsLike, fds: Iterable[FD], jds: Iterable[JD]
+) -> bool:
+    """Fagin's projection-join normal form, tested on the given set.
+
+    The key dependencies are ``{K → U : K candidate key}``; the schema is
+    in PJ/NF iff every given dependency is implied by them (so joins never
+    generate tuples the keys would not already force).
+    """
+    uni = attrset(universe)
+    fds, jds = list(fds), list(jds)
+    key_fds = [FD(key, uni) for key in candidate_keys(uni, fds)]
+    for fd in fds:
+        if not implies(key_fds, fd, universe=uni):
+            return False
+    for jd in jds:
+        if jd.is_trivial(uni):
+            continue
+        if not implies(key_fds, jd, universe=uni):
+            return False
+    return True

@@ -1,0 +1,62 @@
+"""4NF decomposition.
+
+Like BCNF decomposition but driven by MVD violations: a nontrivial implied
+MVD ``X ↠ Y`` with non-superkey ``X`` splits ``R`` into ``X ∪ Y`` and
+``X ∪ (R − Y)``.  FD violations participate automatically because every FD
+is an MVD.  Dependencies are carried to fragments with
+:func:`repro.dependencies.projection.project_dependencies` (chase-backed).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.dependencies.fd import FD
+from repro.dependencies.mvd import MVD
+from repro.dependencies.projection import project_dependencies
+from repro.normalforms.checks import find_4nf_violation
+from repro.normalforms.fragment import Fragment
+from repro.relational.attributes import AttrSet, AttrsLike, attrset
+
+
+def fournf_decompose(
+    universe: AttrsLike,
+    fds: Iterable[FD],
+    mvds: Iterable[MVD],
+    name: str = "R",
+) -> List[Fragment]:
+    """Decompose ``(universe, fds ∪ mvds)`` into 4NF fragments."""
+    fds, mvds = list(fds), list(mvds)
+    fragments: List[Fragment] = []
+    counter = [0]
+
+    def fresh_name() -> str:
+        counter[0] += 1
+        return f"{name}{counter[0]}"
+
+    def recurse(attrs: AttrSet, local_fds: List[FD], local_mvds: List[MVD]) -> None:
+        violation = find_4nf_violation(attrs, local_fds, local_mvds)
+        if violation is None:
+            fragments.append(
+                Fragment(fresh_name(), attrs, tuple(local_fds), tuple(local_mvds))
+            )
+            return
+        left = frozenset(violation.lhs | violation.rhs) & attrs
+        right = attrs - (violation.rhs - violation.lhs)
+        left_fds, left_mvds = project_dependencies(local_fds, local_mvds, left, attrs)
+        right_fds, right_mvds = project_dependencies(
+            local_fds, local_mvds, right, attrs
+        )
+        recurse(left, left_fds, left_mvds)
+        recurse(right, right_fds, right_mvds)
+
+    uni = attrset(universe)
+    base_fds, base_mvds = project_dependencies(fds, mvds, uni, uni)
+    recurse(uni, base_fds, base_mvds)
+
+    # Drop fragments subsumed by others (can arise from overlapping splits).
+    kept: List[Fragment] = []
+    for frag in sorted(fragments, key=lambda f: (-len(f.attributes), f.name)):
+        if not any(frag.attributes <= other.attributes for other in kept):
+            kept.append(frag)
+    return sorted(kept, key=lambda f: f.name)

@@ -1,0 +1,37 @@
+"""Decomposition fragments: a sub-schema plus its projected dependencies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.dependencies.fd import FD
+from repro.dependencies.mvd import MVD
+from repro.relational.attributes import AttrSet, AttrsLike, attrset, fmt_attrs
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One relation of a decomposition: attributes + projected constraints."""
+
+    name: str
+    attributes: AttrSet
+    fds: Tuple[FD, ...] = field(default_factory=tuple)
+    mvds: Tuple[MVD, ...] = field(default_factory=tuple)
+
+    def __init__(
+        self,
+        name: str,
+        attributes: AttrsLike,
+        fds: List[FD] | Tuple[FD, ...] = (),
+        mvds: List[MVD] | Tuple[MVD, ...] = (),
+    ):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", attrset(attributes))
+        object.__setattr__(self, "fds", tuple(fds))
+        object.__setattr__(self, "mvds", tuple(mvds))
+
+    def __str__(self) -> str:
+        deps = "; ".join(str(d) for d in list(self.fds) + list(self.mvds))
+        suffix = f" [{deps}]" if deps else ""
+        return f"{self.name}({fmt_attrs(self.attributes)}){suffix}"

@@ -1,0 +1,39 @@
+"""Relational data model substrate.
+
+This package provides the minimal-but-complete relational machinery that the
+information-theoretic framework of Arenas & Libkin (PODS 2003) is defined
+over: attribute sets, relation schemas, relations (set semantics), database
+schemas/instances, and the relational algebra operators used by the chase,
+the normalization algorithms, and the examples.
+
+Values are arbitrary hashable Python objects; the measure engines in
+:mod:`repro.core` mostly use positive integers so that the paper's domains
+``[k] = {1, .., k}`` are literal.
+"""
+
+from repro.relational.attributes import attrset, fmt_attrs
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.relation import DatabaseInstance, Relation
+from repro.relational.algebra import (
+    difference,
+    natural_join,
+    project,
+    rename,
+    select,
+    union,
+)
+
+__all__ = [
+    "attrset",
+    "fmt_attrs",
+    "RelationSchema",
+    "DatabaseSchema",
+    "Relation",
+    "DatabaseInstance",
+    "project",
+    "select",
+    "natural_join",
+    "rename",
+    "union",
+    "difference",
+]

@@ -1,0 +1,89 @@
+"""Relational algebra operators over :class:`~repro.relational.relation.Relation`.
+
+Only the operators the rest of the library needs: projection, selection,
+natural join, rename, union, difference.  All operators are pure — they
+return fresh relations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping
+
+from repro.relational.attributes import AttrsLike, attrset
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import RelationSchema
+
+
+def project(relation: Relation, attrs: AttrsLike, name: str | None = None) -> Relation:
+    """``π_attrs(relation)`` — duplicate-eliminating projection."""
+    sub = relation.schema.restrict(attrs, name=name)
+    indices = [relation.schema.index(a) for a in sub.attributes]
+    rows = {tuple(row[i] for i in indices) for row in relation.rows}
+    return Relation(sub, rows)
+
+
+def select(
+    relation: Relation, predicate: Callable[[Dict[str, Any]], bool]
+) -> Relation:
+    """``σ_predicate(relation)`` — *predicate* sees each row as a dict."""
+    rows = [row for row in relation.rows if predicate(relation.row_dict(row))]
+    return Relation(relation.schema, rows)
+
+
+def rename(relation: Relation, mapping: Mapping[str, str], name: str | None = None) -> Relation:
+    """Rename attributes via *mapping* (attributes not mentioned keep their name)."""
+    cols = tuple(mapping.get(a, a) for a in relation.schema.attributes)
+    schema = RelationSchema(name or relation.schema.name, cols)
+    return Relation(schema, relation.rows)
+
+
+def natural_join(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """``left ⋈ right`` on all shared attributes.
+
+    With no shared attributes this degenerates to the cartesian product,
+    matching the standard definition.
+    """
+    shared = sorted(left.schema.attrset & right.schema.attrset)
+    out_cols = tuple(left.schema.attributes) + tuple(
+        a for a in right.schema.attributes if a not in left.schema.attrset
+    )
+    schema = RelationSchema(name or f"{left.schema.name}_{right.schema.name}", out_cols)
+
+    left_key = [left.schema.index(a) for a in shared]
+    right_key = [right.schema.index(a) for a in shared]
+    right_extra = [
+        right.schema.index(a)
+        for a in right.schema.attributes
+        if a not in left.schema.attrset
+    ]
+
+    buckets: Dict[Row, list] = {}
+    for row in right.rows:
+        buckets.setdefault(tuple(row[i] for i in right_key), []).append(row)
+
+    rows = []
+    for lrow in left.rows:
+        key = tuple(lrow[i] for i in left_key)
+        for rrow in buckets.get(key, ()):
+            rows.append(lrow + tuple(rrow[i] for i in right_extra))
+    return Relation(schema, rows)
+
+
+def _check_compatible(left: Relation, right: Relation, op: str) -> None:
+    if left.schema.attributes != right.schema.attributes:
+        raise ValueError(
+            f"{op} requires identical schemas, got "
+            f"{left.schema} vs {right.schema}"
+        )
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """``left ∪ right`` (schemas must match exactly)."""
+    _check_compatible(left, right, "union")
+    return Relation(left.schema, left.rows | right.rows)
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """``left − right`` (schemas must match exactly)."""
+    _check_compatible(left, right, "difference")
+    return Relation(left.schema, left.rows - right.rows)

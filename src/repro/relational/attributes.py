@@ -1,0 +1,48 @@
+"""Attribute-set helpers.
+
+Attributes are plain strings.  Dependency theory manipulates *sets* of
+attributes constantly, and the classical literature writes them as
+concatenations (``ABC`` for ``{A, B, C}``).  :func:`attrset` accepts both
+that compact notation and ordinary iterables, so call sites can stay close
+to the paper's notation::
+
+    attrset("ABC")            == frozenset({"A", "B", "C"})
+    attrset(["city", "zip"])  == frozenset({"city", "zip"})
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Union
+
+AttrSet = FrozenSet[str]
+
+AttrsLike = Union[str, Iterable[str]]
+
+
+def attrset(attrs: AttrsLike) -> AttrSet:
+    """Normalize *attrs* to a ``frozenset`` of attribute names.
+
+    A string is interpreted as a sequence of single-character attribute
+    names (the textbook ``"ABC"`` shorthand) unless it contains commas, in
+    which case it is split on commas (``"city,zip"``).  Any other iterable
+    is consumed element-wise.
+    """
+    if isinstance(attrs, str):
+        if "," in attrs:
+            parts = [part.strip() for part in attrs.split(",")]
+            return frozenset(part for part in parts if part)
+        return frozenset(attrs.replace(" ", ""))
+    return frozenset(attrs)
+
+
+def fmt_attrs(attrs: Iterable[str]) -> str:
+    """Render an attribute set compactly and deterministically.
+
+    Single-character attribute sets render in the concatenated textbook
+    style (``ABC``); anything else renders comma-separated.  Sorting makes
+    the output stable for tests and logs.
+    """
+    ordered = sorted(attrs)
+    if all(len(name) == 1 for name in ordered):
+        return "".join(ordered)
+    return ",".join(ordered)

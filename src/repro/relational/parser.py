@@ -1,0 +1,81 @@
+"""Text notation for schemas, dependencies and instances.
+
+The compact notation used throughout the database-design literature::
+
+    parse_schema("R(A, B, C)")            -> RelationSchema
+    parse_dependency("A, B -> C")          -> FD
+    parse_dependency("A ->> B")            -> MVD
+    parse_dependency("JOIN[AB, BC, CA]")   -> JD
+    parse_design("R(A,B,C); A->B; B->>C")  -> (RelationSchema, [deps])
+
+Whitespace is insignificant; single-character attribute runs may be
+concatenated (``AB -> C``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple, Union
+
+from repro.dependencies.fd import FD
+from repro.dependencies.jd import JD
+from repro.dependencies.mvd import MVD
+from repro.relational.attributes import attrset
+from repro.relational.schema import RelationSchema
+
+Dependency = Union[FD, MVD, JD]
+
+_SCHEMA_RE = re.compile(r"^\s*(\w+)\s*\(([^()]*)\)\s*$")
+_JD_RE = re.compile(r"^\s*JOIN\s*\[(.*)\]\s*$", re.IGNORECASE)
+
+
+def parse_schema(text: str) -> RelationSchema:
+    """Parse ``"R(A, B, C)"`` (or ``"R(ABC)"``)."""
+    match = _SCHEMA_RE.match(text)
+    if not match:
+        raise ValueError(f"not a schema: {text!r}")
+    name, cols = match.groups()
+    attrs = sorted(attrset(cols))
+    if not attrs:
+        raise ValueError(f"schema {name!r} has no attributes")
+    return RelationSchema(name, tuple(attrs))
+
+
+def parse_dependency(text: str) -> Dependency:
+    """Parse one FD (``->``), MVD (``->>``) or JD (``JOIN[...]``)."""
+    jd_match = _JD_RE.match(text)
+    if jd_match:
+        components = [c for c in jd_match.group(1).split(",") if c.strip()]
+        if len(components) < 2:
+            raise ValueError(f"JD needs at least two components: {text!r}")
+        return JD(*(attrset(c) for c in components))
+    if "->>" in text:
+        lhs, rhs = text.split("->>", 1)
+        return MVD(attrset(lhs), attrset(rhs))
+    if "->" in text:
+        lhs, rhs = text.split("->", 1)
+        return FD(attrset(lhs), attrset(rhs))
+    raise ValueError(f"not a dependency: {text!r}")
+
+
+def parse_design(text: str) -> Tuple[RelationSchema, List[Dependency]]:
+    """Parse ``"R(A,B,C); A->B; B->>C"`` into a schema plus dependencies.
+
+    The first ``;``-separated part must be the schema; the rest are
+    dependencies, all of whose attributes must belong to the schema.
+    """
+    parts = [part.strip() for part in text.split(";") if part.strip()]
+    if not parts:
+        raise ValueError("empty design")
+    schema = parse_schema(parts[0])
+    deps: List[Dependency] = []
+    for part in parts[1:]:
+        dep = parse_dependency(part)
+        stray = dep.attributes - schema.attrset
+        if stray:
+            raise ValueError(
+                f"dependency {part!r} mentions attributes {sorted(stray)} "
+                f"outside schema {schema.name}"
+            )
+        deps.append(dep)
+    return schema, deps

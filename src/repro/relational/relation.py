@@ -1,0 +1,130 @@
+"""Relations (set semantics) and database instances.
+
+Rows are stored as plain value tuples aligned with the schema's attribute
+order; :meth:`Relation.get` and :meth:`Relation.row_dict` provide
+attribute-based access.  Relations are immutable — all algebra operators in
+:mod:`repro.relational.algebra` return new relations — which keeps the chase
+and the possible-worlds engines free of aliasing bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Sequence,
+    Tuple,
+)
+
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+Row = Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Relation:
+    """An immutable relation: a schema plus a set of rows.
+
+    Rows are value tuples in schema column order.  Duplicate rows collapse
+    (set semantics), matching the paper's model.
+    """
+
+    schema: RelationSchema
+    rows: FrozenSet[Row] = field(default_factory=frozenset)
+
+    def __init__(self, schema: RelationSchema, rows: Iterable[Sequence[Any]] = ()):
+        normalized = set()
+        for row in rows:
+            tup = tuple(row)
+            if len(tup) != schema.arity:
+                raise ValueError(
+                    f"row {tup} has arity {len(tup)}, "
+                    f"schema {schema.name} expects {schema.arity}"
+                )
+            normalized.add(tup)
+        object.__setattr__(self, "schema", schema)
+        object.__setattr__(self, "rows", frozenset(normalized))
+
+    @classmethod
+    def from_dicts(
+        cls, schema: RelationSchema, dicts: Iterable[Mapping[str, Any]]
+    ) -> "Relation":
+        """Build a relation from attribute→value mappings."""
+        rows = [tuple(d[a] for a in schema.attributes) for d in dicts]
+        return cls(schema, rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __contains__(self, row: Sequence[Any]) -> bool:
+        return tuple(row) in self.rows
+
+    def get(self, row: Row, attribute: str) -> Any:
+        """Value of *attribute* in *row* (row must come from this relation)."""
+        return row[self.schema.index(attribute)]
+
+    def row_dict(self, row: Row) -> Dict[str, Any]:
+        """A row as an attribute→value dictionary."""
+        return dict(zip(self.schema.attributes, row))
+
+    def with_rows(self, rows: Iterable[Sequence[Any]]) -> "Relation":
+        """A copy of this relation with *rows* added."""
+        return Relation(self.schema, list(self.rows) + [tuple(r) for r in rows])
+
+    def active_domain(self) -> FrozenSet[Any]:
+        """All values appearing anywhere in the relation."""
+        return frozenset(v for row in self.rows for v in row)
+
+    def sorted_rows(self) -> Tuple[Row, ...]:
+        """Rows in a deterministic order (for display and tests)."""
+        return tuple(sorted(self.rows, key=repr))
+
+    def __str__(self) -> str:
+        header = ", ".join(self.schema.attributes)
+        body = "\n".join("  " + ", ".join(map(str, r)) for r in self.sorted_rows())
+        return f"{self.schema.name}[{header}]\n{body}" if body else (
+            f"{self.schema.name}[{header}] (empty)"
+        )
+
+
+@dataclass(frozen=True)
+class DatabaseInstance:
+    """An instance of a :class:`DatabaseSchema`: one relation per schema."""
+
+    schema: DatabaseSchema
+    relations: Tuple[Relation, ...]
+
+    def __init__(self, relations: Iterable[Relation]):
+        rels = tuple(relations)
+        object.__setattr__(
+            self, "schema", DatabaseSchema([r.schema for r in rels])
+        )
+        object.__setattr__(self, "relations", rels)
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self.relations)
+
+    def __getitem__(self, name: str) -> Relation:
+        for rel in self.relations:
+            if rel.schema.name == name:
+                return rel
+        raise KeyError(f"no relation named {name!r}")
+
+    def active_domain(self) -> FrozenSet[Any]:
+        """All values appearing anywhere in the instance."""
+        return frozenset(v for rel in self.relations for v in rel.active_domain())
+
+    def total_rows(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(rel) for rel in self.relations)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rel) for rel in self.relations)

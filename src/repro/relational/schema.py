@@ -1,0 +1,112 @@
+"""Relation and database schemas.
+
+A :class:`RelationSchema` is a named, ordered list of attributes; order only
+matters for tuple layout (rows are stored as value tuples aligned with it).
+A :class:`DatabaseSchema` is a collection of relation schemas with unique
+names.  Constraints (FDs/MVDs/JDs) live in :mod:`repro.dependencies` and are
+attached externally — the paper treats a "schema" as a pair ``(S, Σ)`` and
+so do we, via :class:`repro.core.welldesign.DesignedSchema`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Tuple
+
+from repro.relational.attributes import AttrSet, AttrsLike, attrset
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """An ordered relation schema ``name(A1, ..., An)``.
+
+    Parameters
+    ----------
+    name:
+        Relation name, unique within a :class:`DatabaseSchema`.
+    attributes:
+        Attribute names in column order.  Duplicates are rejected.
+    """
+
+    name: str
+    attributes: Tuple[str, ...]
+
+    def __init__(self, name: str, attributes: AttrsLike):
+        if isinstance(attributes, str):
+            cols: Tuple[str, ...] = tuple(sorted(attrset(attributes)))
+        else:
+            cols = tuple(attributes)
+        if len(set(cols)) != len(cols):
+            raise ValueError(f"duplicate attributes in schema {name}: {cols}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", cols)
+
+    @property
+    def attrset(self) -> AttrSet:
+        """The attributes as an (unordered) frozen set."""
+        return frozenset(self.attributes)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    def index(self, attribute: str) -> int:
+        """Column index of *attribute*; raises ``KeyError`` if absent."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise KeyError(
+                f"attribute {attribute!r} not in schema {self.name}"
+            ) from None
+
+    def restrict(self, attrs: AttrsLike, name: str | None = None) -> "RelationSchema":
+        """A sub-schema keeping only *attrs*, preserving column order."""
+        keep = attrset(attrs)
+        missing = keep - self.attrset
+        if missing:
+            raise KeyError(f"attributes {sorted(missing)} not in schema {self.name}")
+        cols = tuple(a for a in self.attributes if a in keep)
+        return RelationSchema(name or self.name, cols)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+@dataclass(frozen=True)
+class DatabaseSchema:
+    """A collection of relation schemas with unique names."""
+
+    relations: Tuple[RelationSchema, ...] = field(default_factory=tuple)
+
+    def __init__(self, relations: Iterable[RelationSchema]):
+        rels = tuple(relations)
+        names = [r.name for r in rels]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate relation names: {names}")
+        object.__setattr__(self, "relations", rels)
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self.relations)
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        for rel in self.relations:
+            if rel.name == name:
+                return rel
+        raise KeyError(f"no relation named {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(rel.name == name for rel in self.relations)
+
+    def by_name(self) -> Dict[str, RelationSchema]:
+        """Mapping from relation name to schema."""
+        return {rel.name: rel for rel in self.relations}
+
+    def __str__(self) -> str:
+        return "; ".join(str(rel) for rel in self.relations)

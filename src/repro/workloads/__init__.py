@@ -1,0 +1,28 @@
+"""Workload generators for the experiments.
+
+Synthetic substitutes for the paper's analytical "workloads": random FD
+sets and constraint-satisfying instances (relational experiments), the
+DBLP-style DTD family (XML experiments), and labeled graph families
+(Mendelzon-legacy experiments).  All generators are seeded and
+deterministic.
+"""
+
+from repro.workloads.relational_gen import (
+    paper_example_instance,
+    random_fds,
+    random_instance,
+)
+from repro.workloads.xml_gen import dblp_document, dblp_dtd, dblp_xfds
+from repro.workloads.graph_gen import chain_graph, cycle_graph, random_graph
+
+__all__ = [
+    "random_fds",
+    "random_instance",
+    "paper_example_instance",
+    "dblp_dtd",
+    "dblp_xfds",
+    "dblp_document",
+    "random_graph",
+    "chain_graph",
+    "cycle_graph",
+]

@@ -1,0 +1,49 @@
+"""Graph workloads for the RPQ/GraphLog experiments."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.graph.graphdb import GraphDB
+
+
+def random_graph(
+    n_nodes: int,
+    n_edges: int,
+    labels: Sequence[str] = ("a", "b"),
+    seed: int = 0,
+) -> GraphDB:
+    """A random labeled digraph (duplicate draws are retried)."""
+    rng = random.Random(seed)
+    graph = GraphDB()
+    for node in range(n_nodes):
+        graph.add_node(node)
+    guard = 0
+    while graph.edge_count() < n_edges and guard < 50 * n_edges:
+        guard += 1
+        graph.add_edge(
+            rng.randrange(n_nodes), rng.choice(list(labels)), rng.randrange(n_nodes)
+        )
+    return graph
+
+
+def chain_graph(length: int, label: str = "a") -> GraphDB:
+    """``0 → 1 → ... → length`` with a single label."""
+    return GraphDB.from_edges((i, label, i + 1) for i in range(length))
+
+
+def cycle_graph(length: int, label: str = "a") -> GraphDB:
+    """A directed cycle of the given length."""
+    return GraphDB.from_edges(
+        (i, label, (i + 1) % length) for i in range(length)
+    )
+
+
+def bipartite_double_chain(length: int) -> GraphDB:
+    """Alternating ``a``/``b`` chain — the classic ``(a.b)*`` workload."""
+    graph = GraphDB()
+    for i in range(length):
+        label = "a" if i % 2 == 0 else "b"
+        graph.add_edge(i, label, i + 1)
+    return graph

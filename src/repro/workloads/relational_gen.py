@@ -1,0 +1,145 @@
+"""Random relational workloads: FD sets and satisfying instances."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.dependencies.fd import FD
+from repro.dependencies.mvd import MVD
+from repro.relational.attributes import AttrsLike, attrset
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+def random_fds(
+    universe: AttrsLike,
+    count: int,
+    seed: int = 0,
+    max_lhs: int = 2,
+) -> List[FD]:
+    """*count* random nontrivial FDs over *universe* (deterministic)."""
+    rng = random.Random(seed)
+    attrs = sorted(attrset(universe))
+    if len(attrs) < 2:
+        raise ValueError("need at least two attributes")
+    out: List[FD] = []
+    guard = 0
+    while len(out) < count and guard < 100 * count:
+        guard += 1
+        lhs_size = rng.randint(1, min(max_lhs, len(attrs) - 1))
+        lhs = frozenset(rng.sample(attrs, lhs_size))
+        remaining = [a for a in attrs if a not in lhs]
+        rhs = frozenset([rng.choice(remaining)])
+        fd = FD(lhs, rhs)
+        if fd not in out:
+            out.append(fd)
+    return out
+
+
+def _repair_fds(rows: List[List[int]], schema: RelationSchema, fds: Sequence[FD]) -> None:
+    """Merge values column-wise until every FD holds.
+
+    On a violation the loser value is replaced by the winner *throughout
+    the column* (the EGD view of the conflict).  Each replacement
+    strictly shrinks some column's active domain, so the loop terminates
+    — naive per-row overwriting can oscillate forever on cyclic FD sets
+    (regression: a hypothesis-found hang)."""
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            lhs_idx = [schema.index(a) for a in sorted(fd.lhs)]
+            rhs_idx = [schema.index(a) for a in sorted(fd.rhs)]
+            rep: dict = {}
+            for row in rows:
+                key = tuple(row[i] for i in lhs_idx)
+                leader = rep.setdefault(key, row)
+                if leader is row:
+                    continue
+                for i in rhs_idx:
+                    if row[i] != leader[i]:
+                        loser, winner = row[i], leader[i]
+                        for other in rows:
+                            if other[i] == loser:
+                                other[i] = winner
+                        changed = True
+
+
+def _complete_mvds(
+    rows: List[List[int]], schema: RelationSchema, mvds: Sequence[MVD]
+) -> None:
+    """Add tuples until every MVD holds (the chase on a concrete instance;
+    terminates because no new values are invented)."""
+    changed = True
+    while changed:
+        changed = False
+        present = {tuple(r) for r in rows}
+        for mvd in mvds:
+            lhs_idx = [schema.index(a) for a in sorted(mvd.lhs & schema.attrset)]
+            mid_idx = [
+                schema.index(a)
+                for a in sorted((mvd.rhs - mvd.lhs) & schema.attrset)
+            ]
+            groups: dict = {}
+            for row in rows:
+                groups.setdefault(tuple(row[i] for i in lhs_idx), []).append(row)
+            for group in groups.values():
+                for t1 in group:
+                    for t2 in group:
+                        witness = list(t2)
+                        for i in mid_idx:
+                            witness[i] = t1[i]
+                        if tuple(witness) not in present:
+                            rows.append(witness)
+                            present.add(tuple(witness))
+                            changed = True
+
+
+def random_instance(
+    universe: AttrsLike,
+    fds: Sequence[FD] = (),
+    mvds: Sequence[MVD] = (),
+    n_rows: int = 3,
+    domain: int = 6,
+    seed: int = 0,
+    name: str = "R",
+) -> Relation:
+    """A random instance over ``[1, domain]`` satisfying the constraints.
+
+    Rows are drawn uniformly, then repaired: FD right-hand sides are
+    copied from group representatives and MVD groups are completed to
+    products (this can grow the instance beyond *n_rows*).
+    """
+    rng = random.Random(seed)
+    cols = tuple(sorted(attrset(universe)))
+    schema = RelationSchema(name, cols)
+    rows = [
+        [rng.randint(1, domain) for _ in cols] for _ in range(n_rows)
+    ]
+
+    def all_satisfied() -> bool:
+        relation = Relation(schema, [tuple(r) for r in rows])
+        return all(d.is_satisfied_by(relation) for d in list(fds) + list(mvds))
+
+    # Repair and complete to a joint fixpoint: repairs only merge values
+    # (shrinking the active domain) and completions only add rows over the
+    # existing values, so the loop is bounded by the finite row space.
+    for _ in range(100):
+        _repair_fds(rows, schema, fds)
+        _complete_mvds(rows, schema, mvds)
+        if all_satisfied():
+            break
+    else:
+        raise RuntimeError(
+            f"instance generation did not converge (seed={seed})"
+        )
+    return Relation(schema, [tuple(r) for r in rows])
+
+
+def paper_example_instance() -> Tuple[Relation, List[FD]]:
+    """The paper's running example: ``R(A, B, C)`` with ``B → C`` and two
+    tuples sharing the (redundant) ``B, C`` pair."""
+    schema = RelationSchema("R", ("A", "B", "C"))
+    relation = Relation(schema, [(1, 2, 3), (4, 2, 3)])
+    return relation, [FD("B", "C")]

@@ -1,0 +1,76 @@
+"""XML workloads: the paper's DBLP-style design family.
+
+The motivating example of the XML half of the paper: conference issues
+containing inproceedings entries that each repeat the issue's year.  The
+XFD ``issue → inproceedings.@year`` is anomalous (the design is not in
+XNF) and normalization moves ``@year`` up to ``issue``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.xml.dtd import DTD, ElementDecl
+from repro.xml.paths import attr_path, elem_path
+from repro.xml.tree import XNode
+from repro.xml.xfd import XFD
+
+
+def dblp_dtd() -> DTD:
+    """The non-XNF DBLP-style DTD: ``@year`` lives on ``inproceedings``."""
+    return DTD(
+        "db",
+        {
+            "db": ElementDecl([("conf", "*")]),
+            "conf": ElementDecl([("issue", "*")], attrs=["title"]),
+            "issue": ElementDecl([("inproceedings", "*")], attrs=["number"]),
+            "inproceedings": ElementDecl([], attrs=["key", "year"]),
+        },
+    )
+
+
+def dblp_xfds() -> List[XFD]:
+    """The DBLP constraints: an issue has one year (anomalous!) and keys."""
+    issue = elem_path("db", "conf", "issue")
+    inproc = issue.child("inproceedings")
+    return [
+        # All papers of one issue share the issue's year: the redundancy.
+        XFD([issue], inproc.attribute("year")),
+        # Paper keys are global identifiers.
+        XFD([inproc.attribute("key")], inproc),
+    ]
+
+
+def dblp_document(
+    n_confs: int = 2,
+    n_issues: int = 2,
+    n_papers: int = 2,
+    seed: int = 0,
+) -> XNode:
+    """A conforming DBLP document with the year copied across papers."""
+    rng = random.Random(seed)
+    db = XNode("db")
+    key = 0
+    for c in range(n_confs):
+        conf = db.add(XNode("conf", {"title": f"conf{c}"}))
+        for i in range(n_issues):
+            year = 1990 + rng.randint(0, 30)
+            issue = conf.add(XNode("issue", {"number": i + 1}))
+            for _p in range(n_papers):
+                key += 1
+                issue.add(
+                    XNode("inproceedings", {"key": f"p{key}", "year": year})
+                )
+    return db
+
+
+def tiny_dblp_document() -> XNode:
+    """The smallest interesting instance: one issue, two papers sharing a
+    year — nine attribute positions, exact-sweep friendly."""
+    db = XNode("db")
+    conf = db.add(XNode("conf", {"title": "PODS"}))
+    issue = conf.add(XNode("issue", {"number": 22}))
+    issue.add(XNode("inproceedings", {"key": "p1", "year": 2003}))
+    issue.add(XNode("inproceedings", {"key": "p2", "year": 2003}))
+    return db

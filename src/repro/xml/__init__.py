@@ -1,0 +1,46 @@
+"""XML data model, XML functional dependencies, and XNF.
+
+The second half of the reproduced paper extends the information-theoretic
+framework to XML: documents are trees constrained by a DTD, constraints
+are XML functional dependencies (XFDs) over DTD paths, the normal form
+characterizing well-designedness is XNF, and the normalization algorithm
+rewrites a non-XNF design by *moving attributes* and *creating element
+types*.
+
+Scope (documented in DESIGN.md): DTDs are "simple" — sequence content
+models with ``1``/``?``/``*``/``+`` multiplicities, attribute lists, no
+disjunction, no recursion — the class all of the paper's examples live in.
+XFD implication uses a relational-FD encoding over the path universe that
+is exact for documents realizing their declared paths (no ``⊥`` on
+relevant paths).
+"""
+
+from repro.xml.tree import XNode, from_xml, parse_tree, to_xml
+from repro.xml.dtd import DTD, ElementDecl
+from repro.xml.paths import Path, attr_path, elem_path
+from repro.xml.treetuples import tree_tuples
+from repro.xml.xfd import XFD
+from repro.xml.implication import xfd_closure, xfd_implies
+from repro.xml.xnf import anomalous_xfds, is_xnf
+from repro.xml.normalize import normalize_to_xnf
+from repro.xml.measure import PositionedDocument
+
+__all__ = [
+    "XNode",
+    "parse_tree",
+    "from_xml",
+    "to_xml",
+    "DTD",
+    "ElementDecl",
+    "Path",
+    "elem_path",
+    "attr_path",
+    "tree_tuples",
+    "XFD",
+    "xfd_implies",
+    "xfd_closure",
+    "is_xnf",
+    "anomalous_xfds",
+    "normalize_to_xnf",
+    "PositionedDocument",
+]

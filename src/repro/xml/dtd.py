@@ -1,0 +1,133 @@
+"""Simple DTDs.
+
+A DTD maps element labels to an :class:`ElementDecl`: a sequence content
+model — ``(child_label, multiplicity)`` with multiplicity in ``1 ? * +`` —
+plus a set of attribute names.  Disjunction and recursion are out of scope
+(the paper's examples and the XNF results used here live in this class);
+recursion is rejected at construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.xml.tree import XNode
+
+MULTIPLICITIES = ("1", "?", "*", "+")
+
+
+@dataclass(frozen=True)
+class ElementDecl:
+    """Declaration of one element type: content sequence + attributes."""
+
+    content: Tuple[Tuple[str, str], ...] = ()
+    attrs: Tuple[str, ...] = ()
+
+    def __init__(
+        self,
+        content: Sequence[Tuple[str, str]] = (),
+        attrs: Iterable[str] = (),
+    ):
+        for child, mult in content:
+            if mult not in MULTIPLICITIES:
+                raise ValueError(f"bad multiplicity {mult!r} for {child!r}")
+        labels = [child for child, _ in content]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate child label in content: {labels}")
+        object.__setattr__(self, "content", tuple(content))
+        object.__setattr__(self, "attrs", tuple(sorted(attrs)))
+
+    def multiplicity(self, child: str) -> str:
+        """Multiplicity of *child* in the content model (KeyError if absent)."""
+        for label, mult in self.content:
+            if label == child:
+                return mult
+        raise KeyError(f"{child!r} not in content model")
+
+    def child_labels(self) -> List[str]:
+        """Child element labels in declaration order."""
+        return [label for label, _ in self.content]
+
+
+@dataclass(frozen=True)
+class DTD:
+    """A simple, non-recursive DTD with a designated root element."""
+
+    root: str
+    elements: Mapping[str, ElementDecl] = field(default_factory=dict)
+
+    def __init__(self, root: str, elements: Mapping[str, ElementDecl]):
+        object.__setattr__(self, "root", root)
+        object.__setattr__(self, "elements", dict(elements))
+        if root not in self.elements:
+            raise ValueError(f"root element {root!r} not declared")
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        visiting: set = set()
+        done: set = set()
+
+        def visit(label: str) -> None:
+            if label in done:
+                return
+            if label in visiting:
+                raise ValueError(f"recursive DTD at element {label!r}")
+            visiting.add(label)
+            for child in self.decl(label).child_labels():
+                visit(child)
+            visiting.remove(label)
+            done.add(label)
+
+        visit(self.root)
+
+    def decl(self, label: str) -> ElementDecl:
+        """The declaration of *label* (empty if undeclared leaf)."""
+        return self.elements.get(label, ElementDecl())
+
+    def validate(self, doc: XNode) -> List[str]:
+        """Structural errors of *doc* against the DTD (empty when valid)."""
+        errors: List[str] = []
+        if doc.label != self.root:
+            errors.append(f"root is {doc.label!r}, expected {self.root!r}")
+
+        def check(node: XNode) -> None:
+            decl = self.decl(node.label)
+            declared_children = set(decl.child_labels())
+            declared_attrs = set(decl.attrs)
+            for attr in node.attrs:
+                if attr not in declared_attrs:
+                    errors.append(f"{node.label}: undeclared attribute @{attr}")
+            for attr in declared_attrs:
+                if attr not in node.attrs:
+                    errors.append(f"{node.label}: missing attribute @{attr}")
+            for child in node.children:
+                if child.label not in declared_children:
+                    errors.append(
+                        f"{node.label}: undeclared child {child.label!r}"
+                    )
+            for label, mult in decl.content:
+                count = len(node.children_labeled(label))
+                if mult == "1" and count != 1:
+                    errors.append(f"{node.label}: expected one {label!r}, got {count}")
+                if mult == "?" and count > 1:
+                    errors.append(
+                        f"{node.label}: expected at most one {label!r}, got {count}"
+                    )
+                if mult == "+" and count == 0:
+                    errors.append(f"{node.label}: expected at least one {label!r}")
+            for child in node.children:
+                check(child)
+
+        check(doc)
+        return errors
+
+    def is_valid(self, doc: XNode) -> bool:
+        """True iff *doc* conforms to the DTD."""
+        return not self.validate(doc)
+
+    def with_element(self, label: str, decl: ElementDecl) -> "DTD":
+        """A copy with *label*'s declaration replaced/added."""
+        elements = dict(self.elements)
+        elements[label] = decl
+        return DTD(self.root, elements)

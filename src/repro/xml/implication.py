@@ -1,0 +1,70 @@
+"""XFD implication via the relational-FD encoding.
+
+Over a simple DTD the path universe is finite, and tree tuples obey
+structural dependencies mirroring the tree shape:
+
+- ``{p} → parent(p)``: agreeing on a node means agreeing on its ancestors;
+- ``{p} → p.@a``: a node determines its attribute values;
+- ``{p} → p.child`` when the child's multiplicity is ``1`` or ``?``: a
+  node determines its unique child of that type.
+
+XFD implication is then attribute closure over the path universe with the
+structural FDs plus the given XFDs, seeded with the root path (every tree
+tuple contains the root).
+
+Exactness caveat (documented in DESIGN.md): the encoding ignores the
+``non-⊥`` proviso of the XFD semantics, so it is exact for designs whose
+relevant branches are always realized (every example in the paper) and a
+sound approximation otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Set
+
+from repro.xml.dtd import DTD
+from repro.xml.paths import Path, all_paths
+from repro.xml.xfd import XFD
+
+
+def structural_fds(dtd: DTD) -> List[XFD]:
+    """The structural XFDs implied by the tree shape of *dtd*."""
+    out: List[XFD] = []
+    for path in all_paths(dtd):
+        if path.is_attribute:
+            out.append(XFD([path.element], path))
+            continue
+        if path.parent is not None:
+            out.append(XFD([path], path.parent))
+        decl = dtd.decl(path.last)
+        for label, mult in decl.content:
+            if mult in ("1", "?"):
+                out.append(XFD([path], path.child(label)))
+    return out
+
+
+def xfd_closure(
+    dtd: DTD, sigma: Iterable[XFD], seed: Iterable[Path]
+) -> FrozenSet[Path]:
+    """Closure of the path set *seed* under *sigma* plus structure."""
+    deps = list(sigma) + structural_fds(dtd)
+    closure: Set[Path] = set(seed)
+    closure.add(Path((dtd.root,)))
+    changed = True
+    while changed:
+        changed = False
+        for dep in deps:
+            if dep.rhs not in closure and dep.lhs <= closure:
+                closure.add(dep.rhs)
+                changed = True
+    return frozenset(closure)
+
+
+def xfd_implies(dtd: DTD, sigma: Iterable[XFD], candidate: XFD) -> bool:
+    """True iff *sigma* (with *dtd*'s structure) implies *candidate*."""
+    return candidate.rhs in xfd_closure(dtd, sigma, candidate.lhs)
+
+
+def xfd_is_trivial(dtd: DTD, candidate: XFD) -> bool:
+    """True iff the DTD structure alone implies *candidate*."""
+    return xfd_implies(dtd, [], candidate)

@@ -1,0 +1,309 @@
+"""XNF normalization: the paper's two rewrite rules, applied to fixpoint.
+
+Given an anomalous XFD ``S → p.@l`` (the value at ``@l`` is copied across
+``p``-nodes):
+
+- **Moving an attribute** applies when ``S`` already determines an
+  ancestor element ``q`` of ``p``: the attribute belongs one level up, so
+  ``@l`` is moved from ``p``'s element type to ``q``'s.  (DBLP: ``@year``
+  moves from ``inproceedings`` to ``issue``.)
+- **Creating an element type** applies when ``S`` consists of attribute
+  paths that determine no ancestor of ``p``: a fresh element type is
+  introduced under the common ancestor, keyed by copies of the ``S``
+  attributes and carrying ``@l``.  (The relational-style encoding of
+  ``A → B`` inside a single element type.)
+
+Each step removes the chosen anomaly; the loop repeats until
+:func:`repro.xml.xnf.is_xnf` holds.  Documents conforming to the old DTD
+are rewritten alongside, preserving their information (the attribute value
+is stored once instead of once per copy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.xml.dtd import DTD, ElementDecl
+from repro.xml.implication import xfd_closure
+from repro.xml.paths import Path
+from repro.xml.tree import XNode
+from repro.xml.treetuples import BOTTOM, tree_tuples
+from repro.xml.xfd import XFD
+from repro.xml.xnf import anomalous_xfds
+
+
+class NormalizationError(RuntimeError):
+    """Raised when a design falls outside the implemented rule coverage."""
+
+
+@dataclass
+class NormalizationResult:
+    """Outcome of :func:`normalize_to_xnf`."""
+
+    dtd: DTD
+    sigma: List[XFD]
+    doc: Optional[XNode]
+    steps: List[str] = field(default_factory=list)
+
+
+def _substitute(sigma: Iterable[XFD], old: Path, new: Path) -> List[XFD]:
+    def sub(path: Path) -> Path:
+        return new if path == old else path
+
+    return [XFD({sub(p) for p in dep.lhs}, sub(dep.rhs)) for dep in sigma]
+
+
+def _free_attr_name(decl: ElementDecl, wanted: str, hint: str) -> str:
+    if wanted not in decl.attrs:
+        return wanted
+    candidate = f"{hint}_{wanted}"
+    suffix = 1
+    while candidate in decl.attrs:
+        candidate = f"{hint}_{wanted}{suffix}"
+        suffix += 1
+    return candidate
+
+
+def _move_attribute(
+    dtd: DTD,
+    sigma: List[XFD],
+    doc: Optional[XNode],
+    anomaly: XFD,
+    target: Path,
+) -> Tuple[DTD, List[XFD], Optional[XNode], str]:
+    src_path = anomaly.rhs.element
+    attr = anomaly.rhs.attr
+    src_label, dst_label = src_path.last, target.last
+
+    src_decl = dtd.decl(src_label)
+    dst_decl = dtd.decl(dst_label)
+    new_name = _free_attr_name(dst_decl, attr, src_label)
+
+    new_dtd = dtd.with_element(
+        src_label,
+        ElementDecl(src_decl.content, [a for a in src_decl.attrs if a != attr]),
+    )
+    new_dtd = new_dtd.with_element(
+        dst_label,
+        ElementDecl(dst_decl.content, list(dst_decl.attrs) + [new_name]),
+    )
+
+    new_sigma = _substitute(sigma, anomaly.rhs, target.attribute(new_name))
+
+    new_doc = None
+    if doc is not None:
+        new_doc = doc.copy()
+        _move_attribute_in_doc(new_doc, Path((dtd.root,)), src_path, attr, target, new_name)
+
+    step = f"move @{attr} from {src_path} to {target} (as @{new_name})"
+    return new_dtd, new_sigma, new_doc, step
+
+
+def _move_attribute_in_doc(
+    node: XNode,
+    here: Path,
+    src_path: Path,
+    attr: str,
+    target: Path,
+    new_name: str,
+) -> None:
+    if here == target:
+        values = {
+            n.attrs[attr]
+            for n, npath in _walk_with_paths(node, here)
+            if npath == src_path and attr in n.attrs
+        }
+        if len(values) > 1:
+            raise NormalizationError(
+                f"document violates the XFD being normalized: @{attr} takes "
+                f"values {sorted(map(repr, values))} under one {target}"
+            )
+        if values:
+            node.attrs[new_name] = values.pop()
+    if src_path == here:
+        node.attrs.pop(attr, None)
+    for child in node.children:
+        _move_attribute_in_doc(
+            child, here.child(child.label), src_path, attr, target, new_name
+        )
+
+
+def _walk_with_paths(node: XNode, here: Path):
+    yield node, here
+    for child in node.children:
+        yield from _walk_with_paths(child, here.child(child.label))
+
+
+def _create_element_type(
+    dtd: DTD,
+    sigma: List[XFD],
+    doc: Optional[XNode],
+    anomaly: XFD,
+    anchor: Path,
+) -> Tuple[DTD, List[XFD], Optional[XNode], str]:
+    attr = anomaly.rhs.attr
+    src_path = anomaly.rhs.element
+    src_label = src_path.last
+
+    new_label = f"{src_label}_{attr}"
+    suffix = 1
+    while new_label in dtd.elements:
+        new_label = f"{src_label}_{attr}{suffix}"
+        suffix += 1
+
+    lhs_attrs: List[Tuple[Path, str]] = []
+    used: List[str] = []
+    for p in sorted(anomaly.lhs):
+        if not p.is_attribute:
+            raise NormalizationError(
+                f"create-element rule needs attribute-path LHS, got {p}"
+            )
+        name = p.attr if p.attr not in used else f"{p.element.last}_{p.attr}"
+        while name in used:
+            name += "_"
+        used.append(name)
+        lhs_attrs.append((p, name))
+
+    new_decl = ElementDecl((), [name for _p, name in lhs_attrs] + [attr])
+    anchor_decl = dtd.decl(anchor.last)
+    new_dtd = dtd.with_element(
+        anchor.last,
+        ElementDecl(list(anchor_decl.content) + [(new_label, "*")], anchor_decl.attrs),
+    )
+    new_dtd = new_dtd.with_element(new_label, new_decl)
+    src_decl = dtd.decl(src_label)
+    new_dtd = new_dtd.with_element(
+        src_label,
+        ElementDecl(src_decl.content, [a for a in src_decl.attrs if a != attr]),
+    )
+
+    new_elem_path = anchor.child(new_label)
+    key_paths = [new_elem_path.attribute(name) for _p, name in lhs_attrs]
+    new_sigma = [dep for dep in sigma if dep != anomaly]
+    new_sigma = _substitute(new_sigma, anomaly.rhs, new_elem_path.attribute(attr))
+    new_sigma.append(XFD(key_paths, new_elem_path))
+    new_sigma.append(XFD(key_paths, new_elem_path.attribute(attr)))
+
+    new_doc = None
+    if doc is not None:
+        new_doc = doc.copy()
+        _create_elements_in_doc(
+            new_doc, dtd, anomaly, anchor, new_label, lhs_attrs, attr, src_path
+        )
+
+    step = (
+        f"create element {new_label} under {anchor} keyed by "
+        f"{[str(p) for p in sorted(anomaly.lhs)]} carrying @{attr}"
+    )
+    return new_dtd, new_sigma, new_doc, step
+
+
+def _create_elements_in_doc(
+    doc: XNode,
+    dtd: DTD,
+    anomaly: XFD,
+    anchor: Path,
+    new_label: str,
+    lhs_attrs: List[Tuple[Path, str]],
+    attr: str,
+    src_path: Path,
+) -> None:
+    tuples = tree_tuples(doc, dtd)
+    nodes_by_id = {i: n for i, n in enumerate(doc.walk())}
+
+    combos: Dict[int, set] = {}
+    for t in tuples:
+        anchor_id = t.get(anchor)
+        if anchor_id is BOTTOM:
+            continue
+        lhs_vals = tuple(t.get(p, BOTTOM) for p, _n in lhs_attrs)
+        rhs_val = t.get(anomaly.rhs, BOTTOM)
+        if BOTTOM in lhs_vals or rhs_val is BOTTOM:
+            continue
+        combos.setdefault(anchor_id, set()).add((lhs_vals, rhs_val))
+
+    for anchor_id, pairs in combos.items():
+        anchor_node = nodes_by_id[anchor_id]
+        for lhs_vals, rhs_val in sorted(pairs, key=repr):
+            attrs = {name: v for (_p, name), v in zip(lhs_attrs, lhs_vals)}
+            attrs[attr] = rhs_val
+            anchor_node.add(XNode(new_label, attrs))
+
+    for node, npath in _walk_with_paths(doc, Path((dtd.root,))):
+        if npath == src_path:
+            node.attrs.pop(attr, None)
+
+
+def _pick_move_target(dtd: DTD, sigma: List[XFD], anomaly: XFD) -> Optional[Path]:
+    """The deepest strict ancestor of the anomaly's element that is
+    *equivalent* to the LHS, if any.
+
+    Moving ``@l`` to ``q`` is sound only when ``q`` and the LHS determine
+    each other: ``S → q`` places one copy of the value per ``q``-node, and
+    ``q → S`` guarantees that copy is well-defined (every descendant
+    ``p``-node under one ``q``-node shares the value).
+    """
+    closure = xfd_closure(dtd, sigma, anomaly.lhs)
+    element = anomaly.rhs.element
+    candidates = [
+        p
+        for p in closure
+        if not p.is_attribute
+        and p != element
+        and p.is_prefix_of(element)
+        and all(s in xfd_closure(dtd, sigma, [p]) for s in anomaly.lhs)
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda p: len(p.steps))
+
+
+def _common_anchor(anomaly: XFD, dtd: DTD, sigma: List[XFD]) -> Path:
+    """The anchor for a created element type: the deepest common element
+    prefix of the anomaly's paths **that the LHS determines**.
+
+    Determination is essential: one new node is created per distinct LHS
+    combination under each anchor node, and the key XFD added for the new
+    element asserts the LHS identifies that node — which only holds if the
+    LHS pins down the anchor itself.  The root always qualifies.
+    """
+    paths = [p.element.steps for p in anomaly.lhs] + [anomaly.rhs.element.steps]
+    prefix = paths[0]
+    for steps in paths[1:]:
+        i = 0
+        while i < min(len(prefix), len(steps)) and prefix[i] == steps[i]:
+            i += 1
+        prefix = prefix[:i]
+    closure = xfd_closure(dtd, sigma, anomaly.lhs)
+    for end in range(len(prefix), 0, -1):
+        candidate = Path(prefix[:end])
+        if candidate in closure:
+            return candidate
+    return Path((dtd.root,))
+
+
+def normalize_to_xnf(
+    dtd: DTD,
+    sigma: Iterable[XFD],
+    doc: Optional[XNode] = None,
+    max_steps: int = 25,
+) -> NormalizationResult:
+    """Rewrite ``(dtd, sigma)`` (and optionally *doc*) into XNF."""
+    sigma = list(sigma)
+    steps: List[str] = []
+    for _ in range(max_steps):
+        anomalies = anomalous_xfds(dtd, sigma)
+        if not anomalies:
+            return NormalizationResult(dtd, sigma, doc, steps)
+        anomaly = min(anomalies, key=lambda a: (len(a.lhs), str(a)))
+        target = _pick_move_target(dtd, sigma, anomaly)
+        if target is not None:
+            dtd, sigma, doc, step = _move_attribute(dtd, sigma, doc, anomaly, target)
+        else:
+            anchor = _common_anchor(anomaly, dtd, sigma)
+            dtd, sigma, doc, step = _create_element_type(
+                dtd, sigma, doc, anomaly, anchor
+            )
+        steps.append(step)
+    raise NormalizationError(f"did not reach XNF within {max_steps} steps")

@@ -1,0 +1,122 @@
+"""DTD paths.
+
+A :class:`Path` is a root-anchored sequence of element labels, optionally
+ending in an attribute step (``db.conf.issue.@year``).  XFDs relate paths;
+the implication engine treats each path as a relational attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.xml.dtd import DTD
+
+
+@dataclass(frozen=True)
+class Path:
+    """A DTD path: element steps plus an optional trailing attribute."""
+
+    steps: Tuple[str, ...]
+    attr: Optional[str] = None
+
+    def __post_init__(self):
+        if not self.steps:
+            raise ValueError("a path needs at least the root step")
+
+    def _key(self) -> Tuple:
+        return (self.steps, self.attr or "")
+
+    def __lt__(self, other: "Path") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "Path") -> bool:
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "Path") -> bool:
+        return self._key() > other._key()
+
+    def __ge__(self, other: "Path") -> bool:
+        return self._key() >= other._key()
+
+    @property
+    def is_attribute(self) -> bool:
+        """True iff the path addresses an attribute value."""
+        return self.attr is not None
+
+    @property
+    def element(self) -> "Path":
+        """The element path this path lives on (itself if already one)."""
+        return Path(self.steps) if self.is_attribute else self
+
+    @property
+    def parent(self) -> Optional["Path"]:
+        """The parent path (the element for attributes; ``None`` at root)."""
+        if self.is_attribute:
+            return Path(self.steps)
+        if len(self.steps) == 1:
+            return None
+        return Path(self.steps[:-1])
+
+    @property
+    def last(self) -> str:
+        """The final element label."""
+        return self.steps[-1]
+
+    def child(self, label: str) -> "Path":
+        """The child element path ``self.label``."""
+        if self.is_attribute:
+            raise ValueError("attribute paths have no children")
+        return Path(self.steps + (label,))
+
+    def attribute(self, name: str) -> "Path":
+        """The attribute path ``self.@name``."""
+        if self.is_attribute:
+            raise ValueError("attribute paths have no attributes")
+        return Path(self.steps, name)
+
+    def is_prefix_of(self, other: "Path") -> bool:
+        """True iff this element path is an ancestor-or-self of *other*."""
+        if self.is_attribute:
+            return self == other
+        return other.steps[: len(self.steps)] == self.steps
+
+    def __str__(self) -> str:
+        base = ".".join(self.steps)
+        return f"{base}.@{self.attr}" if self.attr else base
+
+
+def parse_path(text: str) -> Path:
+    """Parse ``"db.conf.@title"`` notation."""
+    parts = text.split(".")
+    if parts and parts[-1].startswith("@"):
+        return Path(tuple(parts[:-1]), parts[-1][1:])
+    return Path(tuple(parts))
+
+
+def elem_path(*steps: str) -> Path:
+    """Element path from label steps."""
+    return Path(tuple(steps))
+
+
+def attr_path(*steps_and_attr: str) -> Path:
+    """Attribute path: last argument is the attribute name."""
+    *steps, attr = steps_and_attr
+    return Path(tuple(steps), attr)
+
+
+def all_paths(dtd: DTD) -> List[Path]:
+    """Every path of the (non-recursive) DTD, root first, element paths
+    before their attribute paths."""
+    out: List[Path] = []
+
+    def visit(path: Path) -> None:
+        out.append(path)
+        decl = dtd.decl(path.last)
+        for attr in decl.attrs:
+            out.append(path.attribute(attr))
+        for label in decl.child_labels():
+            visit(path.child(label))
+
+    visit(Path((dtd.root,)))
+    return out

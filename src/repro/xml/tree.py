@@ -1,0 +1,106 @@
+"""XML trees.
+
+Documents are ordered trees of labeled element nodes carrying attribute
+maps.  Text content is modeled as attributes (the paper treats element
+text via a distinguished leaf the same way), keeping the XFD machinery
+uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Tuple
+
+
+@dataclass
+class XNode:
+    """An element node: label, attributes, children."""
+
+    label: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["XNode"] = field(default_factory=list)
+
+    def add(self, child: "XNode") -> "XNode":
+        """Append *child* and return it (builder convenience)."""
+        self.children.append(child)
+        return child
+
+    def walk(self) -> Iterator["XNode"]:
+        """Pre-order traversal of the subtree rooted here."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def children_labeled(self, label: str) -> List["XNode"]:
+        """Children with the given element label, in document order."""
+        return [c for c in self.children if c.label == label]
+
+    def copy(self) -> "XNode":
+        """A deep copy of the subtree."""
+        return XNode(
+            self.label,
+            dict(self.attrs),
+            [c.copy() for c in self.children],
+        )
+
+    def size(self) -> int:
+        """Number of nodes in the subtree."""
+        return sum(1 for _ in self.walk())
+
+    def attr_count(self) -> int:
+        """Number of attribute slots in the subtree."""
+        return sum(len(n.attrs) for n in self.walk())
+
+    def render(self, indent: int = 0) -> str:
+        """A readable XML-ish rendering (for examples and debugging)."""
+        pad = "  " * indent
+        attrs = "".join(f' {a}="{v}"' for a, v in sorted(self.attrs.items()))
+        if not self.children:
+            return f"{pad}<{self.label}{attrs}/>"
+        inner = "\n".join(c.render(indent + 1) for c in self.children)
+        return f"{pad}<{self.label}{attrs}>\n{inner}\n{pad}</{self.label}>"
+
+
+def from_xml(text: str) -> XNode:
+    """Parse an XML string into an :class:`XNode` tree.
+
+    Uses the standard-library parser; element text/tail content is
+    ignored (the model is attribute-centric, matching the paper), and all
+    attribute values arrive as strings.
+    """
+    import xml.etree.ElementTree as ET
+
+    def convert(elem: "ET.Element") -> XNode:
+        return XNode(
+            elem.tag,
+            dict(elem.attrib),
+            [convert(child) for child in elem],
+        )
+
+    return convert(ET.fromstring(text))
+
+
+def to_xml(node: XNode) -> str:
+    """Serialize a tree to an XML string (inverse of :func:`from_xml` for
+    string-valued attributes)."""
+    return node.render()
+
+
+def parse_tree(spec: Any) -> XNode:
+    """Build a tree from a nested tuple spec.
+
+    ``spec`` is ``(label, attrs_dict, [child_spec, ...])`` with the last
+    two items optional::
+
+        parse_tree(("db", {}, [
+            ("conf", {"title": "PODS"}, [
+                ("issue", {"year": 2003}),
+            ]),
+        ]))
+    """
+    if isinstance(spec, XNode):
+        return spec
+    label = spec[0]
+    attrs = dict(spec[1]) if len(spec) > 1 else {}
+    children = [parse_tree(c) for c in (spec[2] if len(spec) > 2 else [])]
+    return XNode(label, attrs, children)

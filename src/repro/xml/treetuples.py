@@ -1,0 +1,73 @@
+"""Tree tuples: the relational view of an XML document.
+
+Following the paper, a *tree tuple* of a document picks at most one node
+per DTD path, downward-consistently: for each element path it selects one
+node reachable along it (or ``⊥`` when the branch is absent), and for each
+attribute path the selected node's attribute value.  The set of tree
+tuples is the natural "universal relation" of the document; XFDs are FDs
+over it with the ``⊥``-aware agreement rule.
+
+Node identity matters (two different ``issue`` nodes with equal attributes
+are different tuples), so element-path entries are node *ids* assigned by
+pre-order traversal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.xml.dtd import DTD
+from repro.xml.paths import Path
+from repro.xml.tree import XNode
+
+TreeTuple = Dict[Path, Any]
+
+#: Marker for an absent branch / attribute in a tree tuple.
+BOTTOM = None
+
+
+def _assign_ids(doc: XNode) -> Dict[int, int]:
+    """Map ``id(node)`` to a stable pre-order index."""
+    return {id(node): i for i, node in enumerate(doc.walk())}
+
+
+def tree_tuples(doc: XNode, dtd: DTD) -> List[TreeTuple]:
+    """All tree tuples of *doc* under *dtd*.
+
+    Each tuple maps every DTD path to a node id (element paths), an
+    attribute value (attribute paths), or ``None`` for absent branches.
+    """
+    ids = _assign_ids(doc)
+
+    def expand(node: Optional[XNode], path: Path) -> List[TreeTuple]:
+        decl = dtd.decl(path.last)
+        base: TreeTuple = {}
+        if node is None:
+            base[path] = BOTTOM
+            for attr in decl.attrs:
+                base[path.attribute(attr)] = BOTTOM
+        else:
+            base[path] = ids[id(node)]
+            for attr in decl.attrs:
+                base[path.attribute(attr)] = node.attrs.get(attr, BOTTOM)
+
+        partials: List[TreeTuple] = [base]
+        for label in decl.child_labels():
+            child_path = path.child(label)
+            choices: List[Optional[XNode]]
+            if node is None:
+                choices = [None]
+            else:
+                kids = node.children_labeled(label)
+                choices = list(kids) if kids else [None]
+            expanded: List[TreeTuple] = []
+            for partial in partials:
+                for choice in choices:
+                    for sub in expand(choice, child_path):
+                        merged = dict(partial)
+                        merged.update(sub)
+                        expanded.append(merged)
+            partials = expanded
+        return partials
+
+    return expand(doc, Path((dtd.root,)))

@@ -1,0 +1,78 @@
+"""XML functional dependencies (XFDs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.xml.dtd import DTD
+from repro.xml.paths import Path
+from repro.xml.tree import XNode
+from repro.xml.treetuples import BOTTOM, tree_tuples
+
+
+@dataclass(frozen=True)
+class XFD:
+    """An XML functional dependency ``{p1, ..., pn} → q`` over DTD paths.
+
+    Satisfaction (paper semantics): for any two tree tuples that agree
+    with non-``⊥`` values on every left-hand-side path, the right-hand
+    sides agree (``⊥ = ⊥`` counts as agreement).
+    """
+
+    lhs: FrozenSet[Path]
+    rhs: Path
+
+    def __init__(self, lhs: Iterable[Path], rhs: Path):
+        object.__setattr__(self, "lhs", frozenset(lhs))
+        object.__setattr__(self, "rhs", rhs)
+        if not self.lhs:
+            raise ValueError("an XFD needs a nonempty left-hand side")
+
+    @property
+    def paths(self) -> FrozenSet[Path]:
+        """All paths the XFD mentions."""
+        return self.lhs | {self.rhs}
+
+    def is_satisfied_by(self, doc: XNode, dtd: DTD) -> bool:
+        """Check satisfaction on *doc* via its tree tuples."""
+        return self.holds_on(tree_tuples(doc, dtd))
+
+    def holds_on(self, tuples: List[Dict[Path, object]]) -> bool:
+        """Check satisfaction on precomputed tree tuples."""
+        lhs = sorted(self.lhs)
+        seen: Dict[Tuple, object] = {}
+        sentinel = object()
+        for t in tuples:
+            key_vals = tuple(t.get(p, BOTTOM) for p in lhs)
+            if any(v is BOTTOM for v in key_vals):
+                continue
+            rhs_val = t.get(self.rhs, BOTTOM)
+            prior = seen.get(key_vals, sentinel)
+            if prior is sentinel:
+                seen[key_vals] = rhs_val
+            elif prior != rhs_val:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        left = ", ".join(str(p) for p in sorted(self.lhs))
+        return f"{{{left}}} -> {self.rhs}"
+
+
+def parse_xfd(text: str) -> XFD:
+    """Parse the textual XFD notation.
+
+    ``"db.conf.issue -> db.conf.issue.inproceedings.@year"`` — left-hand
+    paths comma-separated, ``->`` before the right-hand path, attribute
+    steps written ``@name``.
+    """
+    from repro.xml.paths import parse_path
+
+    if "->" not in text:
+        raise ValueError(f"not an XFD: {text!r}")
+    lhs_text, rhs_text = text.split("->", 1)
+    lhs = [parse_path(part.strip()) for part in lhs_text.split(",") if part.strip()]
+    if not lhs:
+        raise ValueError(f"XFD needs a left-hand side: {text!r}")
+    return XFD(lhs, parse_path(rhs_text.strip()))

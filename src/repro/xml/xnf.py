@@ -1,0 +1,51 @@
+"""XNF: the XML normal form characterizing well-designedness.
+
+``(DTD, Σ)`` is in XNF iff for every nontrivial XFD ``S → p.@l`` in the
+closure, ``S → p`` also holds — i.e. whenever a set of paths determines an
+attribute *value*, it already determines the *node* carrying it, so the
+value is never copied across nodes.
+
+The check is driven by the given Σ (each given attribute-valued XFD is
+tested, plus the closure-derived variants with the same left-hand sides),
+which is how the normalization algorithm consumes it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.xml.dtd import DTD
+from repro.xml.implication import xfd_closure, xfd_implies, xfd_is_trivial
+from repro.xml.paths import Path, all_paths
+from repro.xml.xfd import XFD
+
+
+def anomalous_xfds(dtd: DTD, sigma: Iterable[XFD]) -> List[XFD]:
+    """XFDs witnessing XNF violations.
+
+    For every left-hand side ``S`` occurring in Σ, every attribute path in
+    the closure of ``S`` is examined: ``S → p.@l`` is anomalous when it is
+    nontrivial and ``S → p`` does not hold.
+    """
+    sigma = list(sigma)
+    out: List[XFD] = []
+    seen = set()
+    for dep in sigma:
+        closure = xfd_closure(dtd, sigma, dep.lhs)
+        for path in sorted(closure):
+            if not path.is_attribute:
+                continue
+            candidate = XFD(dep.lhs, path)
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            if xfd_is_trivial(dtd, candidate):
+                continue
+            if not xfd_implies(dtd, sigma, XFD(dep.lhs, path.element)):
+                out.append(candidate)
+    return out
+
+
+def is_xnf(dtd: DTD, sigma: Iterable[XFD]) -> bool:
+    """True iff ``(dtd, sigma)`` is in XNF."""
+    return not anomalous_xfds(dtd, sigma)

@@ -1,0 +1,84 @@
+"""Tests for the chase procedure."""
+
+from repro.chase.engine import chase
+from repro.chase.tableau import Var, canonical_tableau, distinguished
+from repro.dependencies.fd import FD
+from repro.dependencies.jd import JD
+from repro.dependencies.mvd import MVD
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+SCHEMA = RelationSchema("T", ("A", "B", "C"))
+
+
+class TestChaseFDs:
+    def test_fd_merges_variables(self):
+        x, y1, y2 = Var("x"), Var("y1"), Var("y2")
+        rel = Relation(RelationSchema("T", ("A", "B")), [(x, y1), (x, y2)])
+        result = chase(rel, [FD("A", "B")])
+        assert result.consistent
+        assert len(result.relation) == 1
+        assert result.apply(y1) == result.apply(y2)
+
+    def test_constant_beats_variable(self):
+        x, y = Var("x"), Var("y")
+        rel = Relation(RelationSchema("T", ("A", "B")), [(x, 5), (x, y)])
+        result = chase(rel, [FD("A", "B")])
+        assert result.consistent
+        assert result.apply(y) == 5
+
+    def test_two_constants_inconsistent(self):
+        x = Var("x")
+        rel = Relation(RelationSchema("T", ("A", "B")), [(x, 5), (x, 6)])
+        result = chase(rel, [FD("A", "B")])
+        assert not result.consistent
+
+    def test_merge_chain_resolves(self):
+        x, y, z, w = Var("x"), Var("y"), Var("z"), Var("w")
+        rel = Relation(
+            SCHEMA, [(x, y, z), (x, w, 7), (Var("x2"), y, z)]
+        )
+        result = chase(rel, [FD("A", "B"), FD("B", "C")])
+        assert result.consistent
+        assert result.apply(z) == 7
+
+
+class TestChaseMVDs:
+    def test_mvd_adds_witnesses(self):
+        rel = Relation(SCHEMA, [(1, 2, 3), (1, 5, 6)])
+        result = chase(rel, [MVD("A", "B")])
+        assert result.consistent
+        assert (1, 2, 6) in result.relation.rows
+        assert (1, 5, 3) in result.relation.rows
+        assert len(result.relation) == 4
+
+    def test_mvd_fixpoint_is_product(self):
+        rel = Relation(SCHEMA, [(1, 2, 3), (1, 5, 6), (1, 8, 9)])
+        result = chase(rel, [MVD("A", "B")])
+        assert len(result.relation) == 9  # 3 B-values x 3 C-values
+
+    def test_mvd_no_trigger_no_change(self):
+        rel = Relation(SCHEMA, [(1, 2, 3), (4, 5, 6)])
+        result = chase(rel, [MVD("A", "B")])
+        assert result.relation.rows == rel.rows
+
+
+class TestChaseJDs:
+    def test_jd_adds_joined_tuple(self):
+        rel = Relation(SCHEMA, [(1, 2, 9), (1, 8, 3), (7, 2, 3)])
+        result = chase(rel, [JD("AB", "BC", "CA")])
+        assert (1, 2, 3) in result.relation.rows
+
+    def test_terminates_and_counts_steps(self):
+        rel = Relation(SCHEMA, [(1, 2, 3), (1, 5, 6)])
+        result = chase(rel, [MVD("A", "B")])
+        assert result.steps >= 2
+
+
+class TestCanonicalTableau:
+    def test_lossless_pattern(self):
+        tab = canonical_tableau("ABC", ["AB", "BC"])
+        assert len(tab) == 2
+        col_b = tab.schema.index("B")
+        for row in tab.rows:
+            assert row[col_b] == distinguished("B")

@@ -1,0 +1,102 @@
+"""Tests for chase-based implication (FDs, MVDs, JDs, mixed)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chase.implication import implies
+from repro.dependencies.closure import fd_implies
+from repro.dependencies.fd import FD
+from repro.dependencies.jd import JD
+from repro.dependencies.mvd import MVD
+
+
+class TestFDImplication:
+    def test_armstrong_transitivity(self):
+        assert implies([FD("A", "B"), FD("B", "C")], FD("A", "C"))
+
+    def test_augmentation(self):
+        assert implies([FD("A", "B")], FD("AC", "BC"))
+
+    def test_non_implication(self):
+        assert not implies([FD("A", "B")], FD("B", "A"))
+
+    def test_trivial(self):
+        assert implies([], FD("AB", "A"))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.builds(
+                FD,
+                st.sets(st.sampled_from("ABCD"), min_size=1, max_size=2),
+                st.sets(st.sampled_from("ABCD"), min_size=1, max_size=2),
+            ),
+            max_size=4,
+        ),
+        st.builds(
+            FD,
+            st.sets(st.sampled_from("ABCD"), min_size=1, max_size=2),
+            st.sets(st.sampled_from("ABCD"), min_size=1, max_size=2),
+        ),
+    )
+    def test_chase_agrees_with_closure_on_fds(self, sigma, candidate):
+        # Two independent decision procedures must agree.
+        assert implies(sigma, candidate, universe="ABCD") == fd_implies(
+            sigma, candidate
+        )
+
+
+class TestMVDImplication:
+    def test_complementation(self):
+        assert implies([MVD("A", "B")], MVD("A", "C"), universe="ABC")
+
+    def test_augmentation(self):
+        assert implies([MVD("A", "B")], MVD("AC", "B"), universe="ABCD")
+
+    def test_transitivity(self):
+        # A->>B, B->>C |= A->>C-B (here C).
+        assert implies(
+            [MVD("A", "B"), MVD("B", "C")], MVD("A", "C"), universe="ABCD"
+        )
+
+    def test_fd_is_stronger_than_mvd(self):
+        assert implies([FD("A", "B")], MVD("A", "B"), universe="ABC")
+        assert not implies([MVD("A", "B")], FD("A", "B"), universe="ABC")
+
+    def test_coalescence(self):
+        # A->>B and C->B with C disjoint from B gives A->B.
+        assert implies(
+            [MVD("A", "B"), FD("C", "B")], FD("A", "B"), universe="ABC"
+        )
+
+    def test_universe_sensitivity(self):
+        # A->>B is trivial over AB but not over ABC.
+        assert implies([], MVD("A", "B"), universe="AB")
+        assert not implies([], MVD("A", "B"), universe="ABC")
+
+
+class TestJDImplication:
+    def test_mvd_jd_correspondence(self):
+        assert implies([MVD("A", "B")], JD("AB", "AC"), universe="ABC")
+        assert implies([JD("AB", "AC")], MVD("A", "B"), universe="ABC")
+
+    def test_ternary_jd_from_keys(self):
+        # If A is a key, every decomposition containing A in each part joins.
+        assert implies([FD("A", "BC")], JD("AB", "AC"), universe="ABC")
+
+    def test_binary_jd_implies_ternary(self):
+        # A ->> B supplies the (a,b,c) witness for any join-compatible
+        # triple, so the ternary JD follows — a known strictness example
+        # in the other direction only.
+        assert implies([JD("AB", "AC")], JD("AB", "BC", "CA"), universe="ABC")
+
+    def test_ternary_jd_does_not_imply_mvd(self):
+        assert not implies(
+            [JD("AB", "BC", "CA")], MVD("A", "B"), universe="ABC"
+        )
+
+    def test_ternary_jd_not_implied_by_nothing(self):
+        assert not implies([], JD("AB", "BC", "CA"), universe="ABC")
+
+    def test_trivial_jd(self):
+        assert implies([], JD("ABC", "AB"), universe="ABC")

@@ -1,0 +1,53 @@
+"""Tests for the lossless-join test."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chase.lossless import is_lossless
+from repro.dependencies.fd import FD
+from repro.dependencies.mvd import MVD
+from repro.relational.algebra import natural_join, project
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.workloads.relational_gen import random_instance
+
+
+class TestLossless:
+    def test_classic_lossless(self):
+        assert is_lossless("ABC", ["AB", "AC"], [FD("A", "B")])
+
+    def test_classic_lossy(self):
+        assert not is_lossless("ABC", ["AB", "BC"], [FD("A", "C")])
+
+    def test_mvd_split_is_lossless(self):
+        assert is_lossless("ABC", ["AB", "AC"], [MVD("A", "B")])
+
+    def test_no_constraints_overlap_insufficient(self):
+        assert not is_lossless("ABC", ["AB", "BC"], [])
+
+    def test_three_way(self):
+        sigma = [FD("A", "B"), FD("B", "C")]
+        assert is_lossless("ABCD", ["AB", "BC", "AD"], sigma)
+
+    def test_single_fragment_trivially_lossless(self):
+        assert is_lossless("ABC", ["ABC"], [])
+
+    def test_uncovered_universe_rejected(self):
+        with pytest.raises(ValueError):
+            is_lossless("ABC", ["AB"], [])
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_lossless_means_join_of_projections_recovers(self, seed):
+        """Semantic check: on satisfying instances, a lossless decomposition
+        reassembles exactly."""
+        fds = [FD("A", "B")]
+        rel = random_instance("ABC", fds=fds, n_rows=4, domain=4, seed=seed)
+        left = project(rel, "AB", name="L")
+        right = project(rel, "AC", name="Rt")
+        joined = natural_join(left, right)
+        reordered = project(joined, "ABC")
+        idx = [reordered.schema.index(a) for a in rel.schema.attributes]
+        rows = {tuple(r[i] for i in idx) for r in reordered.rows}
+        assert rows == rel.rows

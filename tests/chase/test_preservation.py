@@ -1,0 +1,29 @@
+"""Tests for dependency preservation."""
+
+from repro.chase.preservation import preserves_dependencies, unpreserved_fds
+from repro.dependencies.fd import FD
+
+
+class TestPreservation:
+    def test_preserved_synthesis_style(self):
+        fds = [FD("A", "B"), FD("B", "C")]
+        assert preserves_dependencies(fds, ["AB", "BC"])
+
+    def test_classic_unpreserved(self):
+        # City/street/zip: CS->Z, Z->C decomposed into SZ, CZ loses CS->Z.
+        fds = [FD("CS", "Z"), FD("Z", "C")]
+        assert not preserves_dependencies(fds, ["SZ", "CZ"])
+        lost = unpreserved_fds(fds, ["SZ", "CZ"])
+        assert lost == [FD("CS", "Z")]
+
+    def test_transitive_preservation_across_fragments(self):
+        # A->B on AB, B->C on BC: A->C is preserved via composition.
+        fds = [FD("A", "B"), FD("B", "C"), FD("A", "C")]
+        assert preserves_dependencies(fds, ["AB", "BC"])
+
+    def test_whole_relation_preserves(self):
+        fds = [FD("AB", "C")]
+        assert preserves_dependencies(fds, ["ABC"])
+
+    def test_empty_fd_set(self):
+        assert preserves_dependencies([], ["AB", "BC"])

@@ -1,0 +1,87 @@
+"""Tests for positions and positioned instances."""
+
+import pytest
+
+from repro.core.positions import Position, PositionedInstance
+from repro.dependencies.fd import FD
+from repro.relational.relation import DatabaseInstance, Relation
+from repro.relational.schema import RelationSchema
+
+SCHEMA = RelationSchema("R", ("A", "B"))
+
+
+def make_instance():
+    rel = Relation(SCHEMA, [(1, 2), (3, 4)])
+    return PositionedInstance.from_relation(rel, [FD("A", "B")])
+
+
+class TestPositionedInstance:
+    def test_position_count(self):
+        assert len(make_instance()) == 4
+
+    def test_positions_canonical_row_order(self):
+        inst = make_instance()
+        assert inst.value_at(inst.position("R", 0, "A")) == 1
+        assert inst.value_at(inst.position("R", 1, "B")) == 4
+
+    def test_unknown_position_rejected(self):
+        inst = make_instance()
+        with pytest.raises(KeyError):
+            inst.position("R", 5, "A")
+
+    def test_active_domain(self):
+        assert make_instance().active_domain() == frozenset({1, 2, 3, 4})
+
+    def test_check_original(self):
+        assert make_instance().check_original()
+
+    def test_satisfies_substitution(self):
+        inst = make_instance()
+        p = inst.position("R", 1, "A")
+        # Setting row 1's A to 1 creates rows (1,2),(1,4): violates A->B.
+        assert not inst.satisfies({p: 1})
+        assert inst.satisfies({p: 9})
+
+    def test_satisfies_handles_row_collapse(self):
+        inst = make_instance()
+        pa = inst.position("R", 1, "A")
+        pb = inst.position("R", 1, "B")
+        # Making row 1 identical to row 0 collapses: still satisfies.
+        assert inst.satisfies({pa: 1, pb: 2})
+
+    def test_unknown_constraint_relation_rejected(self):
+        rel = Relation(SCHEMA, [(1, 2)])
+        with pytest.raises(KeyError):
+            PositionedInstance([rel], {"Z": [FD("A", "B")]})
+
+    def test_multi_relation_instance(self):
+        r = Relation(SCHEMA, [(1, 2)])
+        s = Relation(RelationSchema("S", ("C",)), [(7,), (8,)])
+        inst = PositionedInstance.from_instance(
+            DatabaseInstance([r, s]), {"R": [FD("A", "B")]}
+        )
+        assert len(inst) == 4
+        assert inst.constraints_for("S") == []
+        assert inst.check_original()
+
+
+class TestOracle:
+    def test_oracle_matches_satisfies(self):
+        inst = make_instance()
+        positions = [inst.position("R", 1, "A"), inst.position("R", 1, "B")]
+        oracle = inst.make_oracle(positions)
+        assert oracle([9, 9]) == inst.satisfies(
+            {positions[0]: 9, positions[1]: 9}
+        )
+        assert oracle([1, 5]) == inst.satisfies(
+            {positions[0]: 1, positions[1]: 5}
+        )
+
+    def test_oracle_restores_state(self):
+        inst = make_instance()
+        positions = [inst.position("R", 1, "A")]
+        oracle = inst.make_oracle(positions)
+        oracle([1])
+        # A second call must see the original baseline again.
+        assert oracle([9]) is True
+        assert inst.value_at(positions[0]) == 3

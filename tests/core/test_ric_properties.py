@@ -1,0 +1,98 @@
+"""Hypothesis property tests on the measure itself.
+
+Invariants of RIC that hold by definition or by the paper's theorems:
+bounds, symmetry under value renaming, full information without
+constraints, and the BCNF direction on random instances.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.measure import ric
+from repro.core.positions import PositionedInstance
+from repro.dependencies.fd import FD
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+AB = RelationSchema("R", ("A", "B"))
+
+small_ab_rows = st.sets(
+    st.tuples(st.integers(1, 3), st.integers(1, 3)), min_size=1, max_size=3
+)
+
+
+def satisfying(rows, fds):
+    rel = Relation(AB, rows)
+    return all(fd.is_satisfied_by(rel) for fd in fds)
+
+
+class TestBounds:
+    @settings(max_examples=12, deadline=None)
+    @given(small_ab_rows)
+    def test_ric_within_unit_interval(self, rows):
+        fds = [FD("A", "B")]
+        if not satisfying(rows, fds):
+            return
+        inst = PositionedInstance.from_relation(Relation(AB, rows), fds)
+        for p in inst.positions[:2]:
+            value = ric(inst, p)
+            assert Fraction(0) <= value <= Fraction(1)
+
+    @settings(max_examples=12, deadline=None)
+    @given(small_ab_rows)
+    def test_no_constraints_full_information(self, rows):
+        inst = PositionedInstance.from_relation(Relation(AB, rows), [])
+        for p in inst.positions[:2]:
+            assert ric(inst, p) == 1
+
+
+class TestGenericity:
+    @settings(max_examples=10, deadline=None)
+    @given(small_ab_rows, st.permutations([1, 2, 3]))
+    def test_invariant_under_value_renaming(self, rows, perm):
+        """RIC is generic: renaming domain values cannot change it."""
+        fds = [FD("A", "B")]
+        if not satisfying(rows, fds):
+            return
+        mapping = {i + 1: perm[i] for i in range(3)}
+        renamed_rows = {(mapping[a], mapping[b]) for a, b in rows}
+
+        inst = PositionedInstance.from_relation(Relation(AB, rows), fds)
+        renamed = PositionedInstance.from_relation(
+            Relation(AB, renamed_rows), fds
+        )
+        # Renaming permutes the canonical row order; compare the measured
+        # multiset of position values instead of position-by-position.
+        original = sorted(ric(inst, p) for p in inst.positions)
+        after = sorted(ric(renamed, p) for p in renamed.positions)
+        assert original == after
+
+
+class TestBCNFDirectionRandomized:
+    @settings(max_examples=8, deadline=None)
+    @given(small_ab_rows)
+    def test_key_fd_instances_fully_informative(self, rows):
+        """A → B is BCNF over AB: every satisfying instance measures 1."""
+        fds = [FD("A", "B")]
+        if not satisfying(rows, fds):
+            return
+        inst = PositionedInstance.from_relation(Relation(AB, rows), fds)
+        for p in inst.positions:
+            assert ric(inst, p) == 1
+
+
+class TestDuplicationMonotonicity:
+    def test_more_copies_less_information(self):
+        """Each extra tuple copying the (B, C) pair lowers the redundant
+        position's RIC (the E6 family, in miniature)."""
+        schema = RelationSchema("T", ("A", "B", "C"))
+        values = []
+        for n in (2, 3):
+            rows = [(i, 7, 8) for i in range(n)]
+            inst = PositionedInstance.from_relation(
+                Relation(schema, rows), [FD("B", "C")]
+            )
+            values.append(ric(inst, inst.position("T", 0, "C")))
+        assert values[0] > values[1]

@@ -1,0 +1,113 @@
+"""The paper's characterization theorems, executed.
+
+Well-designedness (``RIC ≡ 1``) is universally quantified over instances,
+so the tests check both directions the way the proofs do: the *only if*
+direction by measuring the canonical witness instance of any violating
+schema (must score < 1 somewhere), and the *if* direction by sweeping
+random satisfying instances of normal-form schemas (must score 1
+everywhere).
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.measure import ric
+from repro.core.positions import PositionedInstance
+from repro.core.welldesign import (
+    is_well_designed_theory,
+    min_ric,
+    redundant_positions,
+    witness_instance,
+)
+from repro.dependencies.fd import FD
+from repro.dependencies.jd import JD
+from repro.dependencies.mvd import MVD
+from repro.normalforms.checks import is_bcnf, is_pjnf
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.workloads.relational_gen import random_fds, random_instance
+
+
+class TestTheoryCharacterization:
+    def test_fd_only_reduces_to_bcnf(self):
+        assert is_well_designed_theory("ABC", [FD("A", "BC")])
+        assert not is_well_designed_theory("ABC", [FD("B", "C")])
+
+    def test_mixed_reduces_to_4nf(self):
+        assert not is_well_designed_theory("ABC", [], [MVD("A", "B")])
+        assert is_well_designed_theory("ABC", [FD("A", "BC")], [MVD("A", "B")])
+
+
+class TestBCNFDirection:
+    """BCNF schema ⇒ every instance, every position has RIC = 1."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_bcnf_random_instances_full_information(self, seed):
+        fds = [FD("A", "BC")]  # A is the key: BCNF
+        rel = random_instance("ABC", fds=fds, n_rows=3, domain=5, seed=seed)
+        inst = PositionedInstance.from_relation(rel, fds)
+        for p in inst.positions[:3]:  # sample positions to keep it fast
+            assert ric(inst, p) == 1
+
+    def test_non_bcnf_witness_scores_below_one(self):
+        fds = [FD("B", "C")]
+        witness = witness_instance("ABC", fds)
+        assert witness is not None
+        inst, pos = witness
+        value = ric(inst, pos)
+        assert value < 1
+        assert value == Fraction(7, 8)
+
+    def test_witness_none_for_bcnf(self):
+        assert witness_instance("ABC", [FD("A", "BC")]) is None
+
+
+class TestFourNFDirection:
+    def test_mvd_witness_scores_below_one(self):
+        witness = witness_instance("ABC", [], [MVD("A", "B")])
+        assert witness is not None
+        inst, pos = witness
+        assert ric(inst, pos) < 1
+
+    def test_4nf_schema_witness_none(self):
+        assert witness_instance("ABC", [FD("A", "BC")], [MVD("A", "B")]) is None
+
+
+class TestJDAnomaly:
+    """The JD landscape: PJ/NF is sufficient but the classical normal forms
+    do not coincide with well-designedness (paper Theorem on JDs)."""
+
+    def test_ternary_jd_schema_not_pjnf(self):
+        assert not is_pjnf("ABC", [], [JD("AB", "BC", "CA")])
+
+    def test_ternary_jd_forced_tuple_is_redundant(self):
+        # The classic instance where (1,2,3) is forced by the other three.
+        schema = RelationSchema("R", ("A", "B", "C"))
+        rel = Relation(schema, [(1, 2, 9), (1, 8, 3), (7, 2, 3), (1, 2, 3)])
+        jd = JD("AB", "BC", "CA")
+        assert jd.is_satisfied_by(rel)
+        inst = PositionedInstance.from_relation(rel, [jd])
+        rows = sorted(rel.rows, key=repr)
+        forced_row = rows.index((1, 2, 3))
+        value = ric(inst, inst.position("R", forced_row, "A"))
+        assert value < 1
+
+
+class TestRedundantPositions:
+    def test_redundant_positions_found(self):
+        schema = RelationSchema("T", ("A", "B", "C"))
+        rel = Relation(schema, [(1, 2, 3), (4, 2, 3)])
+        inst = PositionedInstance.from_relation(rel, [FD("B", "C")])
+        redundant = redundant_positions(inst)
+        attrs = {p.attribute for p in redundant}
+        assert attrs == {"C"}
+
+    def test_min_ric(self):
+        schema = RelationSchema("T", ("A", "B", "C"))
+        rel = Relation(schema, [(1, 2, 3), (4, 2, 3)])
+        inst = PositionedInstance.from_relation(rel, [FD("B", "C")])
+        assert min_ric(inst) == Fraction(7, 8)

@@ -1,0 +1,64 @@
+"""Tests for the Datalog text notation."""
+
+import pytest
+
+from repro.datalog.ast import Atom, Const, Var
+from repro.datalog.engine import evaluate
+from repro.datalog.parser import parse_atom, parse_program, parse_rule
+
+
+class TestParseAtom:
+    def test_variables_and_constants(self):
+        atom = parse_atom("e(X, 3, bob)")
+        assert atom.args == (Var("X"), Const(3), Const("bob"))
+
+    def test_negation(self):
+        atom = parse_atom("not e(X, Y)")
+        assert atom.negated
+
+    def test_negative_integer(self):
+        assert parse_atom("p(-4)").args == (Const(-4),)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_atom("e(X")
+
+
+class TestParseRule:
+    def test_rule(self):
+        rule = parse_rule("tc(X, Z) :- tc(X, Y), e(Y, Z)")
+        assert rule.head.pred == "tc"
+        assert [a.pred for a in rule.body] == ["tc", "e"]
+
+    def test_fact(self):
+        rule = parse_rule("e(1, 2)")
+        assert rule.body == ()
+
+    def test_safety_enforced(self):
+        with pytest.raises(ValueError):
+            parse_rule("p(X) :- q(Y)")
+
+
+class TestParseProgram:
+    TC = """
+        % transitive closure with an indirect-only variant
+        tc(X, Y) :- e(X, Y).
+        tc(X, Z) :- tc(X, Y), e(Y, Z).
+        indirect(X, Y) :- tc(X, Y), not e(X, Y).
+        e(1, 2). e(2, 3). e(3, 4).
+    """
+
+    def test_parse_and_evaluate(self):
+        program = parse_program(self.TC)
+        model = evaluate(program, {})
+        assert (1, 4) in model["tc"]
+        assert (1, 2) not in model["indirect"]
+        assert (1, 3) in model["indirect"]
+
+    def test_comments_stripped(self):
+        program = parse_program("p(1). % p(2).")
+        model = evaluate(program, {})
+        assert model["p"] == {(1,)}
+
+    def test_statement_count(self):
+        assert len(parse_program(self.TC).rules) == 6

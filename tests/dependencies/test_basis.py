@@ -1,0 +1,71 @@
+"""Tests for the MVD dependency basis (cross-checked against the chase)."""
+
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chase.implication import implies
+from repro.dependencies.basis import dependency_basis, mvd_in_basis
+from repro.dependencies.fd import FD
+from repro.dependencies.mvd import MVD
+
+
+class TestDependencyBasis:
+    def test_single_mvd_splits(self):
+        basis = dependency_basis("A", [MVD("A", "B")], "ABCD")
+        assert basis == {frozenset("B"), frozenset("CD")}
+
+    def test_no_mvds_single_block(self):
+        basis = dependency_basis("A", [], "ABCD")
+        assert basis == {frozenset("BCD")}
+
+    def test_blocks_partition_complement(self):
+        basis = dependency_basis("A", [MVD("A", "B"), MVD("A", "C")], "ABCD")
+        union = frozenset().union(*basis)
+        assert union == frozenset("BCD")
+        total = sum(len(b) for b in basis)
+        assert total == 3  # disjoint
+
+    def test_fd_images_participate(self):
+        basis = dependency_basis("A", [], "ABC", fds=[FD("A", "B")])
+        assert frozenset("B") in basis
+
+    def test_basis_membership_test(self):
+        mvds = [MVD("A", "B")]
+        assert mvd_in_basis(MVD("A", "B"), mvds, "ABCD")
+        assert mvd_in_basis(MVD("A", "BCD"), mvds, "ABCD")
+        assert mvd_in_basis(MVD("A", "CD"), mvds, "ABCD")
+        assert not mvd_in_basis(MVD("A", "C"), mvds, "ABCD")
+
+
+def small_mvd_sets():
+    attrs = st.sets(st.sampled_from("ABCD"), min_size=1, max_size=2)
+    return st.lists(st.builds(MVD, attrs, attrs), min_size=0, max_size=3)
+
+
+class TestBasisAgreesWithChase:
+    @settings(max_examples=20, deadline=None)
+    @given(small_mvd_sets(), st.sampled_from(["A", "B", "AB"]))
+    def test_blocks_are_implied_mvds(self, mvds, lhs):
+        universe = frozenset("ABCD")
+        basis = dependency_basis(lhs, mvds, universe)
+        for block in basis:
+            assert implies(mvds, MVD(lhs, block), universe=universe)
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_mvd_sets())
+    def test_implied_mvds_are_unions_of_blocks(self, mvds):
+        universe = frozenset("ABCD")
+        lhs = frozenset("A")
+        basis = dependency_basis(lhs, mvds, universe)
+        rest = sorted(universe - lhs)
+        for size in range(1, len(rest) + 1):
+            for combo in combinations(rest, size):
+                rhs = frozenset(combo)
+                chased = implies(mvds, MVD(lhs, rhs), universe=universe)
+                covered = frozenset().union(
+                    *(b for b in basis if b <= rhs)
+                ) if basis else frozenset()
+                by_basis = covered == rhs
+                assert chased == by_basis, (mvds, rhs, basis)

@@ -1,0 +1,70 @@
+"""Tests for attribute closure and FD implication."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dependencies.closure import attribute_closure, fd_implies, fds_equivalent
+from repro.dependencies.fd import FD
+
+
+def fd_sets(max_fds=5):
+    attrs = st.sets(st.sampled_from("ABCDE"), min_size=1, max_size=3)
+    fds = st.builds(FD, attrs, attrs)
+    return st.lists(fds, max_size=max_fds)
+
+
+class TestAttributeClosure:
+    def test_transitivity(self):
+        fds = [FD("A", "B"), FD("B", "C")]
+        assert attribute_closure("A", fds) == frozenset("ABC")
+
+    def test_reflexivity(self):
+        assert attribute_closure("AB", []) == frozenset("AB")
+
+    def test_compound_lhs_requires_all(self):
+        fds = [FD("AB", "C")]
+        assert "C" not in attribute_closure("A", fds)
+        assert "C" in attribute_closure("AB", fds)
+
+    def test_textbook_example(self):
+        # Ullman: R(ABCDEF), AB->C, BC->AD, D->E, CF->B.
+        fds = [FD("AB", "C"), FD("BC", "AD"), FD("D", "E"), FD("CF", "B")]
+        assert attribute_closure("AB", fds) == frozenset("ABCDE")
+
+    def test_chained_cascade(self):
+        fds = [FD({f"X{i}"}, {f"X{i+1}"}) for i in range(10)]
+        closure = attribute_closure({"X0"}, fds)
+        assert closure == frozenset(f"X{i}" for i in range(11))
+
+    @given(fd_sets(), st.sets(st.sampled_from("ABCDE"), min_size=1, max_size=3))
+    def test_closure_contains_seed_and_is_idempotent(self, fds, seed):
+        closure = attribute_closure(seed, fds)
+        assert frozenset(seed) <= closure
+        assert attribute_closure(closure, fds) == closure
+
+    @given(fd_sets(), st.sets(st.sampled_from("ABCDE"), min_size=1, max_size=3))
+    def test_closure_monotone_in_seed(self, fds, seed):
+        closure = attribute_closure(seed, fds)
+        bigger = attribute_closure(frozenset(seed) | {"A"}, fds)
+        assert closure <= bigger
+
+
+class TestImplication:
+    def test_implies_derived(self):
+        fds = [FD("A", "B"), FD("B", "C")]
+        assert fd_implies(fds, FD("A", "C"))
+        assert not fd_implies(fds, FD("C", "A"))
+
+    def test_trivial_always_implied(self):
+        assert fd_implies([], FD("AB", "A"))
+
+    def test_equivalence(self):
+        first = [FD("A", "B"), FD("B", "C")]
+        second = [FD("A", "BC"), FD("B", "C")]
+        assert fds_equivalent(first, second)
+        assert not fds_equivalent(first, [FD("A", "B")])
+
+    @given(fd_sets())
+    def test_every_member_implied(self, fds):
+        for fd in fds:
+            assert fd_implies(fds, fd)

@@ -1,0 +1,43 @@
+"""Tests for functional dependencies."""
+
+from repro.dependencies.fd import FD
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+SCHEMA = RelationSchema("R", ("A", "B", "C"))
+
+
+class TestFD:
+    def test_shorthand_construction(self):
+        fd = FD("AB", "C")
+        assert fd.lhs == frozenset("AB")
+        assert fd.rhs == frozenset("C")
+
+    def test_trivial(self):
+        assert FD("AB", "A").is_trivial()
+        assert not FD("A", "B").is_trivial()
+
+    def test_satisfied(self):
+        rel = Relation(SCHEMA, [(1, 2, 3), (1, 2, 3), (4, 5, 6)])
+        assert FD("A", "BC").is_satisfied_by(rel)
+
+    def test_violated(self):
+        rel = Relation(SCHEMA, [(1, 2, 3), (1, 2, 4)])
+        assert not FD("A", "C").is_satisfied_by(rel)
+        assert FD("A", "B").is_satisfied_by(rel)
+
+    def test_violating_pairs(self):
+        rel = Relation(SCHEMA, [(1, 2, 3), (1, 2, 4)])
+        pairs = list(FD("A", "C").violating_pairs(rel))
+        assert len(pairs) == 1
+
+    def test_empty_relation_satisfies_everything(self):
+        rel = Relation(SCHEMA, [])
+        assert FD("A", "BC").is_satisfied_by(rel)
+
+    def test_str(self):
+        assert str(FD("AB", "C")) == "AB -> C"
+
+    def test_equality_and_hash(self):
+        assert FD("AB", "C") == FD("BA", "C")
+        assert len({FD("A", "B"), FD("A", "B")}) == 1

@@ -1,0 +1,63 @@
+"""Tests for join dependencies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dependencies.jd import JD
+from repro.dependencies.mvd import MVD
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+SCHEMA = RelationSchema("R", ("A", "B", "C"))
+
+
+class TestJD:
+    def test_needs_two_components(self):
+        with pytest.raises(ValueError):
+            JD("AB")
+
+    def test_ternary_jd_violated_without_forced_tuple(self):
+        jd = JD("AB", "BC", "CA")
+        rel = Relation(SCHEMA, [(1, 2, 9), (1, 8, 3), (7, 2, 3)])
+        assert not jd.is_satisfied_by(rel)
+
+    def test_ternary_jd_satisfied_with_forced_tuple(self):
+        jd = JD("AB", "BC", "CA")
+        rel = Relation(SCHEMA, [(1, 2, 9), (1, 8, 3), (7, 2, 3), (1, 2, 3)])
+        assert jd.is_satisfied_by(rel)
+
+    def test_binary_jd_equals_mvd(self):
+        jd = JD("AB", "AC")
+        mvd = MVD("A", "B")
+        for rows in (
+            [(1, 2, 3), (1, 5, 6)],
+            [(1, 2, 3), (1, 5, 6), (1, 2, 6), (1, 5, 3)],
+            [(1, 2, 3), (4, 5, 6)],
+        ):
+            rel = Relation(SCHEMA, rows)
+            assert jd.is_satisfied_by(rel) == mvd.is_satisfied_by(rel)
+
+    def test_trivial_when_component_covers_universe(self):
+        assert JD("ABC", "AB").is_trivial("ABC")
+        assert not JD("AB", "BC").is_trivial("ABC")
+
+    def test_unknown_attribute_rejected(self):
+        jd = JD("AB", "BZ")
+        rel = Relation(SCHEMA, [(1, 2, 3)])
+        with pytest.raises(ValueError):
+            jd.is_satisfied_by(rel)
+
+    def test_attributes_union(self):
+        assert JD("AB", "BC").attributes == frozenset("ABC")
+
+    @given(
+        st.sets(
+            st.tuples(st.integers(1, 2), st.integers(1, 2), st.integers(1, 2)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_binary_jd_mvd_equivalence_property(self, rows):
+        rel = Relation(SCHEMA, rows)
+        assert JD("AB", "AC").is_satisfied_by(rel) == MVD("A", "B").is_satisfied_by(rel)

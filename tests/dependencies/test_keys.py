@@ -1,0 +1,67 @@
+"""Tests for key discovery."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dependencies.closure import attribute_closure
+from repro.dependencies.fd import FD
+from repro.dependencies.keys import candidate_keys, is_superkey, prime_attributes
+
+
+class TestSuperkey:
+    def test_whole_universe_is_superkey(self):
+        assert is_superkey("ABC", "ABC", [])
+
+    def test_derived_superkey(self):
+        assert is_superkey("A", "ABC", [FD("A", "BC")])
+        assert not is_superkey("B", "ABC", [FD("A", "BC")])
+
+
+class TestCandidateKeys:
+    def test_single_key(self):
+        assert candidate_keys("ABC", [FD("A", "BC")]) == [frozenset("A")]
+
+    def test_multiple_keys(self):
+        # A->B, B->A: both A-with-C and B-with-C are keys of ABC.
+        keys = candidate_keys("ABC", [FD("A", "B"), FD("B", "A")])
+        assert set(keys) == {frozenset("AC"), frozenset("BC")}
+
+    def test_no_fds_whole_relation_is_key(self):
+        assert candidate_keys("AB", []) == [frozenset("AB")]
+
+    def test_cyclic_fds(self):
+        # classic: AB->C, C->A over ABC: keys AB and CB.
+        keys = candidate_keys("ABC", [FD("AB", "C"), FD("C", "A")])
+        assert set(keys) == {frozenset("AB"), frozenset("BC")}
+
+    def test_keys_are_minimal(self):
+        keys = candidate_keys("ABCD", [FD("A", "BCD")])
+        assert keys == [frozenset("A")]
+
+    @given(
+        st.lists(
+            st.builds(
+                FD,
+                st.sets(st.sampled_from("ABCD"), min_size=1, max_size=2),
+                st.sets(st.sampled_from("ABCD"), min_size=1, max_size=2),
+            ),
+            max_size=4,
+        )
+    )
+    def test_every_key_is_minimal_superkey(self, fds):
+        keys = candidate_keys("ABCD", fds)
+        assert keys, "every relation has at least one candidate key"
+        universe = frozenset("ABCD")
+        for key in keys:
+            assert attribute_closure(key, fds) >= universe
+            for attr in key:
+                assert not attribute_closure(key - {attr}, fds) >= universe
+
+
+class TestPrimeAttributes:
+    def test_prime_union_of_keys(self):
+        prime = prime_attributes("ABC", [FD("A", "B"), FD("B", "A")])
+        assert prime == frozenset("ABC")
+
+    def test_nonprime(self):
+        assert prime_attributes("ABC", [FD("A", "BC")]) == frozenset("A")

@@ -1,0 +1,70 @@
+"""Tests for minimal covers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dependencies.closure import fd_implies, fds_equivalent
+from repro.dependencies.fd import FD
+from repro.dependencies.minimal_cover import minimal_cover
+
+
+def fd_sets():
+    attrs = st.sets(st.sampled_from("ABCD"), min_size=1, max_size=3)
+    return st.lists(st.builds(FD, attrs, attrs), max_size=5)
+
+
+class TestMinimalCover:
+    def test_splits_rhs(self):
+        cover = minimal_cover([FD("A", "BC")])
+        assert all(len(fd.rhs) == 1 for fd in cover)
+        assert fds_equivalent(cover, [FD("A", "BC")])
+
+    def test_removes_trivial(self):
+        assert minimal_cover([FD("AB", "A")]) == []
+
+    def test_removes_redundant_fd(self):
+        fds = [FD("A", "B"), FD("B", "C"), FD("A", "C")]
+        cover = minimal_cover(fds)
+        assert FD("A", "C") not in cover
+        assert fds_equivalent(cover, fds)
+
+    def test_removes_extraneous_lhs_attribute(self):
+        fds = [FD("A", "B"), FD("AB", "C")]
+        cover = minimal_cover(fds)
+        assert FD("A", "C") in cover or fd_implies(cover, FD("A", "C"))
+        assert all(fd.lhs == frozenset("A") for fd in cover)
+
+    def test_textbook_example(self):
+        # A->BC, B->C, A->B, AB->C reduces to A->B, B->C.
+        fds = [FD("A", "BC"), FD("B", "C"), FD("A", "B"), FD("AB", "C")]
+        cover = minimal_cover(fds)
+        assert set(cover) == {FD("A", "B"), FD("B", "C")}
+
+    def test_no_duplicates_after_lhs_reduction(self):
+        # SZ->C reduces to Z->C (Z->C already present): the two copies
+        # must collapse, not protect each other from the redundancy pass.
+        cover = minimal_cover([FD("CS", "Z"), FD("Z", "C"), FD("SZ", "C")])
+        assert sorted(map(str, cover)) == ["CS -> Z", "Z -> C"]
+
+    def test_deterministic(self):
+        fds = [FD("A", "BC"), FD("B", "C")]
+        assert minimal_cover(fds) == minimal_cover(fds)
+
+    @given(fd_sets())
+    def test_cover_equivalent_to_input(self, fds):
+        cover = minimal_cover(fds)
+        assert fds_equivalent(cover, fds)
+
+    @given(fd_sets())
+    def test_cover_has_no_redundancy(self, fds):
+        cover = minimal_cover(fds)
+        for fd in cover:
+            rest = [other for other in cover if other != fd]
+            assert not fd_implies(rest, fd)
+
+    @given(fd_sets())
+    def test_singleton_rhs_and_nontrivial(self, fds):
+        cover = minimal_cover(fds)
+        for fd in cover:
+            assert len(fd.rhs) == 1
+            assert not fd.is_trivial()

@@ -1,0 +1,63 @@
+"""Tests for multivalued dependencies."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dependencies.fd import FD
+from repro.dependencies.mvd import MVD
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+SCHEMA = RelationSchema("R", ("A", "B", "C"))
+
+
+def product_instance():
+    """A={1}, B in {2,5}, C in {3,6}: full product satisfies A ->> B."""
+    return Relation(SCHEMA, [(1, 2, 3), (1, 2, 6), (1, 5, 3), (1, 5, 6)])
+
+
+class TestMVD:
+    def test_satisfied_on_product(self):
+        assert MVD("A", "B").is_satisfied_by(product_instance())
+        assert MVD("A", "C").is_satisfied_by(product_instance())
+
+    def test_violated_when_mixed_tuple_missing(self):
+        rel = Relation(SCHEMA, [(1, 2, 3), (1, 5, 6)])
+        assert not MVD("A", "B").is_satisfied_by(rel)
+
+    def test_trivial_cases(self):
+        assert MVD("AB", "A").is_trivial("ABC")
+        assert MVD("A", "BC").is_trivial("ABC")
+        assert not MVD("A", "B").is_trivial("ABC")
+
+    def test_complement(self):
+        assert MVD("A", "B").complement("ABC") == MVD("A", "C")
+
+    def test_complement_satisfaction_agrees(self):
+        rel = product_instance()
+        mvd = MVD("A", "B")
+        assert mvd.is_satisfied_by(rel) == mvd.complement("ABC").is_satisfied_by(rel)
+
+    def test_fd_satisfaction_implies_mvd(self):
+        rel = Relation(SCHEMA, [(1, 2, 3), (1, 2, 4), (5, 6, 7)])
+        assert FD("A", "B").is_satisfied_by(rel)
+        assert MVD("A", "B").is_satisfied_by(rel)
+
+    def test_single_tuple_groups_trivially_satisfy(self):
+        rel = Relation(SCHEMA, [(1, 2, 3), (4, 5, 6)])
+        assert MVD("A", "B").is_satisfied_by(rel)
+
+    @given(
+        st.sets(
+            st.tuples(st.integers(1, 2), st.integers(1, 3), st.integers(1, 3)),
+            min_size=1,
+            max_size=9,
+        )
+    )
+    def test_complementation_rule_property(self, rows):
+        rel = Relation(SCHEMA, rows)
+        mvd = MVD("A", "B")
+        assert mvd.is_satisfied_by(rel) == mvd.complement("ABC").is_satisfied_by(rel)
+
+    def test_str(self):
+        assert str(MVD("A", "B")) == "A ->> B"

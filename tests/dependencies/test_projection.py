@@ -1,0 +1,52 @@
+"""Tests for dependency projection."""
+
+from repro.chase.implication import implies
+from repro.dependencies.closure import fd_implies, fds_equivalent
+from repro.dependencies.fd import FD
+from repro.dependencies.mvd import MVD
+from repro.dependencies.projection import project_dependencies, project_fds
+
+
+class TestProjectFDs:
+    def test_transitive_fd_survives_projection(self):
+        # A->B, B->C projected onto AC gives A->C.
+        projected = project_fds([FD("A", "B"), FD("B", "C")], "AC")
+        assert fd_implies(projected, FD("A", "C"))
+
+    def test_lost_fd(self):
+        projected = project_fds([FD("A", "B")], "AC")
+        assert not fd_implies(projected, FD("A", "C"))
+        assert projected == []
+
+    def test_identity_projection(self):
+        fds = [FD("A", "B"), FD("B", "C")]
+        assert fds_equivalent(project_fds(fds, "ABC"), fds)
+
+    def test_result_mentions_only_target_attrs(self):
+        projected = project_fds([FD("A", "BC"), FD("C", "D")], "AD")
+        for fd in projected:
+            assert fd.attributes <= frozenset("AD")
+
+
+class TestProjectDependencies:
+    def test_mvd_projects_via_basis(self):
+        # A ->> B over ABCD projected onto ABC: A ->> B holds there.
+        fds, mvds = project_dependencies([], [MVD("A", "B")], "ABC", "ABCD")
+        assert implies(list(fds) + list(mvds), MVD("A", "B"), universe="ABC")
+
+    def test_fd_part_uses_chase(self):
+        fds, _mvds = project_dependencies(
+            [FD("A", "B"), FD("B", "C")], [], "AC", "ABC"
+        )
+        assert fd_implies(fds, FD("A", "C"))
+
+    def test_requires_subset(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            project_dependencies([], [], "AZ", "ABC")
+
+    def test_trivial_mvds_dropped(self):
+        _fds, mvds = project_dependencies([], [MVD("A", "B")], "AB", "ABC")
+        for mvd in mvds:
+            assert not mvd.is_trivial("AB")

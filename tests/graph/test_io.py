@@ -1,0 +1,53 @@
+"""Tests for the graph edge-list format and the XFD parser."""
+
+import pytest
+
+from repro.graph.io import parse_edge_list, to_edge_list
+from repro.workloads.graph_gen import random_graph
+from repro.xml.paths import attr_path, elem_path
+from repro.xml.xfd import parse_xfd
+
+
+class TestEdgeList:
+    def test_parse_basic(self):
+        graph = parse_edge_list("1 a 2\n2 b 3\n")
+        assert graph.edges == {(1, "a", 2), (2, "b", 3)}
+
+    def test_comments_and_blanks(self):
+        graph = parse_edge_list("# header\n\n1 a 2  # trailing\n")
+        assert graph.edges == {(1, "a", 2)}
+
+    def test_string_nodes(self):
+        graph = parse_edge_list("ada knows bob\n")
+        assert ("ada", "knows", "bob") in graph.edges
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_edge_list("1 a 2\n1 a\n")
+
+    def test_round_trip(self):
+        graph = random_graph(8, 14, labels=("a", "b"), seed=9)
+        again = parse_edge_list(to_edge_list(graph))
+        assert again.edges == graph.edges
+
+    def test_empty_graph(self):
+        assert to_edge_list(parse_edge_list("")) == ""
+
+
+class TestParseXFD:
+    def test_basic(self):
+        xfd = parse_xfd("db.conf.issue -> db.conf.issue.inproceedings.@year")
+        assert xfd.lhs == frozenset({elem_path("db", "conf", "issue")})
+        assert xfd.rhs == attr_path("db", "conf", "issue", "inproceedings", "year")
+
+    def test_multi_lhs(self):
+        xfd = parse_xfd("db.t.@A, db.t.@B -> db.t.@C")
+        assert len(xfd.lhs) == 2
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_xfd("db.conf.issue")
+
+    def test_rejects_empty_lhs(self):
+        with pytest.raises(ValueError):
+            parse_xfd(" -> db.x")

@@ -1,0 +1,72 @@
+"""Tests for simple-path semantics and CRPQs."""
+
+import pytest
+
+from repro.graph.crpq import CRPQ, RPQAtom, crpq_eval
+from repro.graph.rpq import rpq_pairs
+from repro.graph.simplepath import simple_path_pairs, simple_path_reachable
+from repro.workloads.graph_gen import chain_graph, cycle_graph
+
+
+class TestSimplePaths:
+    def test_chain_semantics_coincide(self):
+        """On an acyclic graph every path is simple."""
+        g = chain_graph(5)
+        assert simple_path_pairs(g, "a+") == rpq_pairs(g, "a+")
+
+    def test_odd_cycle_even_query_diverges(self):
+        """Mendelzon & Wood's phenomenon: (aa)* on an odd cycle finds
+        fewer pairs under simple-path semantics."""
+        g = cycle_graph(3)
+        simple = simple_path_pairs(g, "(a.a)*")
+        unrestricted = rpq_pairs(g, "(a.a)*")
+        assert simple < unrestricted
+        assert (0, 1) in unrestricted  # via a length-4 non-simple walk
+        assert (0, 1) not in simple
+
+    def test_simple_always_subset(self):
+        g = cycle_graph(4)
+        for query in ("a*", "a+", "(a.a)+"):
+            assert simple_path_pairs(g, query) <= rpq_pairs(g, query)
+
+    def test_single_source(self):
+        g = cycle_graph(3)
+        reach = simple_path_reachable(g, "a.a", 0)
+        assert reach == {2}
+
+
+class TestCRPQ:
+    def test_two_hop_join(self):
+        g = chain_graph(3)
+        q = CRPQ(
+            [RPQAtom("X", "a+", "Y"), RPQAtom("Y", "a+", "Z")],
+            output=("X", "Z"),
+        )
+        answers = crpq_eval(g, q)
+        assert (0, 2) in answers and (0, 3) in answers
+        assert (0, 1) not in answers  # needs an intermediate node
+
+    def test_projection(self):
+        g = chain_graph(3)
+        q = CRPQ([RPQAtom("X", "a", "Y")], output=("X",))
+        assert crpq_eval(g, q) == {(0,), (1,), (2,)}
+
+    def test_self_loop_atom(self):
+        g = cycle_graph(3)
+        q = CRPQ([RPQAtom("X", "a.a.a", "X")], output=("X",))
+        assert crpq_eval(g, q) == {(0,), (1,), (2,)}
+
+    def test_unused_output_rejected(self):
+        with pytest.raises(ValueError):
+            CRPQ([RPQAtom("X", "a", "Y")], output=("Z",))
+
+    def test_conjunction_filters(self):
+        g = chain_graph(4)
+        # X reaches Y in one a-step AND Y reaches 4 via a+.
+        q = CRPQ(
+            [RPQAtom("X", "a", "Y"), RPQAtom("Y", "a+", "Z")],
+            output=("X", "Y"),
+        )
+        answers = crpq_eval(g, q)
+        assert (3, 4) not in answers  # 4 has no outgoing edge
+        assert (0, 1) in answers

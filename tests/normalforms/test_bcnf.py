@@ -1,0 +1,65 @@
+"""Tests for BCNF decomposition."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chase.lossless import is_lossless
+from repro.dependencies.fd import FD
+from repro.normalforms.bcnf import bcnf_decompose, find_bcnf_violation
+from repro.normalforms.checks import is_bcnf
+from repro.workloads.relational_gen import random_fds
+
+
+class TestFindViolation:
+    def test_none_when_bcnf(self):
+        assert find_bcnf_violation("ABC", [FD("A", "BC")]) is None
+
+    def test_violation_expanded_to_closure(self):
+        violation = find_bcnf_violation("ABCD", [FD("B", "C"), FD("C", "D")])
+        assert violation is not None
+        assert violation.lhs in (frozenset("B"), frozenset("C"))
+        if violation.lhs == frozenset("B"):
+            assert violation.rhs == frozenset("CD")
+
+
+class TestBCNFDecompose:
+    def test_classic_two_way(self):
+        frags = bcnf_decompose("ABC", [FD("B", "C")])
+        attrs = {frozenset(f.attributes) for f in frags}
+        assert attrs == {frozenset("BC"), frozenset("AB")}
+
+    def test_fragments_are_bcnf(self):
+        fds = [FD("CS", "Z"), FD("Z", "C")]
+        frags = bcnf_decompose("CSZ", fds)
+        for frag in frags:
+            assert is_bcnf(frag.attributes, list(frag.fds)), str(frag)
+
+    def test_lossless(self):
+        fds = [FD("A", "B"), FD("B", "C")]
+        frags = bcnf_decompose("ABCD", fds)
+        assert is_lossless("ABCD", [f.attributes for f in frags], fds)
+
+    def test_already_bcnf_single_fragment(self):
+        frags = bcnf_decompose("ABC", [FD("A", "BC")])
+        assert len(frags) == 1
+        assert frags[0].attributes == frozenset("ABC")
+
+    def test_deterministic(self):
+        fds = [FD("A", "B"), FD("B", "C")]
+        first = [str(f) for f in bcnf_decompose("ABCD", fds)]
+        second = [str(f) for f in bcnf_decompose("ABCD", fds)]
+        assert first == second
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 4))
+    def test_random_schemas_decompose_correctly(self, seed, n_fds):
+        fds = random_fds("ABCD", n_fds, seed=seed)
+        frags = bcnf_decompose("ABCD", fds)
+        # Every fragment in BCNF under its projected FDs.
+        for frag in frags:
+            assert is_bcnf(frag.attributes, list(frag.fds))
+        # The decomposition is lossless.
+        assert is_lossless("ABCD", [f.attributes for f in frags], fds)
+        # Fragments cover the universe.
+        covered = frozenset().union(*(f.attributes for f in frags))
+        assert covered == frozenset("ABCD")

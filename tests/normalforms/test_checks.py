@@ -1,0 +1,102 @@
+"""Tests for normal-form membership tests."""
+
+from repro.dependencies.fd import FD
+from repro.dependencies.jd import JD
+from repro.dependencies.mvd import MVD
+from repro.normalforms.checks import (
+    find_4nf_violation,
+    is_2nf,
+    is_3nf,
+    is_4nf,
+    is_bcnf,
+    is_pjnf,
+)
+
+
+class TestBCNF:
+    def test_key_determines_everything(self):
+        assert is_bcnf("ABC", [FD("A", "BC")])
+
+    def test_partial_determinant_violates(self):
+        assert not is_bcnf("ABC", [FD("B", "C"), FD("AB", "C")])
+
+    def test_two_keys(self):
+        assert is_bcnf("AB", [FD("A", "B"), FD("B", "A")])
+
+    def test_trivial_fds_ignored(self):
+        assert is_bcnf("ABC", [FD("AB", "A")])
+
+    def test_empty_sigma(self):
+        assert is_bcnf("ABC", [])
+
+    def test_classic_csz(self):
+        assert not is_bcnf("CSZ", [FD("CS", "Z"), FD("Z", "C")])
+
+
+class Test3NF:
+    def test_bcnf_implies_3nf(self):
+        assert is_3nf("ABC", [FD("A", "BC")])
+
+    def test_prime_rhs_allowed(self):
+        # CSZ: Z->C has prime rhs C (CS and SZ are keys) -> 3NF, not BCNF.
+        fds = [FD("CS", "Z"), FD("Z", "C")]
+        assert is_3nf("CSZ", fds)
+        assert not is_bcnf("CSZ", fds)
+
+    def test_transitive_dependency_violates(self):
+        assert not is_3nf("ABC", [FD("A", "B"), FD("B", "C")])
+
+
+class Test2NF:
+    def test_partial_key_dependency_violates(self):
+        # Key AB; B alone determines C (nonprime).
+        assert not is_2nf("ABC", [FD("AB", "C"), FD("B", "C")])
+
+    def test_full_dependency_ok(self):
+        assert is_2nf("ABC", [FD("AB", "C")])
+
+    def test_3nf_implies_2nf_example(self):
+        fds = [FD("CS", "Z"), FD("Z", "C")]
+        assert is_2nf("CSZ", fds)
+
+
+class Test4NF:
+    def test_mvd_with_nonkey_lhs_violates(self):
+        assert not is_4nf("ABC", [], [MVD("A", "B")])
+
+    def test_key_lhs_ok(self):
+        assert is_4nf("ABC", [FD("A", "BC")], [MVD("A", "B")])
+
+    def test_fd_violation_also_violates_4nf(self):
+        assert not is_4nf("ABC", [FD("B", "C")], [])
+
+    def test_4nf_implies_bcnf(self):
+        fds = [FD("CS", "Z"), FD("Z", "C")]
+        assert not is_4nf("CSZ", fds, [])  # not BCNF, hence not 4NF
+
+    def test_find_violation_returns_nontrivial_nonkey_mvd(self):
+        violation = find_4nf_violation("ABC", [], [MVD("A", "B")])
+        assert violation is not None
+        assert not violation.is_trivial("ABC")
+
+    def test_trivial_mvds_ignored(self):
+        assert is_4nf("AB", [], [MVD("A", "B")])  # trivial over AB
+
+    def test_generator_mode_agrees_here(self):
+        assert is_4nf("ABC", [FD("A", "BC")], [MVD("A", "B")], exhaustive=False)
+        assert not is_4nf("ABC", [], [MVD("A", "B")], exhaustive=False)
+
+
+class TestPJNF:
+    def test_key_implied_jd(self):
+        # A key: join dependency splitting on the key follows from keys.
+        assert is_pjnf("ABC", [FD("A", "BC")], [JD("AB", "AC")])
+
+    def test_ternary_jd_without_keys_violates(self):
+        assert not is_pjnf("ABC", [], [JD("AB", "BC", "CA")])
+
+    def test_trivial_jd_ok(self):
+        assert is_pjnf("ABC", [], [JD("ABC", "AB")])
+
+    def test_non_key_fd_violates(self):
+        assert not is_pjnf("ABC", [FD("B", "C")], [])

@@ -1,0 +1,48 @@
+"""Tests for 4NF decomposition."""
+
+from repro.chase.lossless import is_lossless
+from repro.dependencies.fd import FD
+from repro.dependencies.mvd import MVD
+from repro.normalforms.checks import is_4nf
+from repro.normalforms.fournf import fournf_decompose
+
+
+class Test4NFDecompose:
+    def test_single_mvd_split(self):
+        frags = fournf_decompose("ABC", [], [MVD("A", "B")])
+        attrs = {frozenset(f.attributes) for f in frags}
+        assert attrs == {frozenset("AB"), frozenset("AC")}
+
+    def test_fragments_are_4nf(self):
+        frags = fournf_decompose("ABCD", [], [MVD("A", "B")])
+        for frag in frags:
+            assert is_4nf(frag.attributes, list(frag.fds), list(frag.mvds))
+
+    def test_lossless(self):
+        sigma_fds, sigma_mvds = [], [MVD("A", "B")]
+        frags = fournf_decompose("ABCD", sigma_fds, sigma_mvds)
+        assert is_lossless(
+            "ABCD", [f.attributes for f in frags], sigma_fds + sigma_mvds
+        )
+
+    def test_fd_violations_also_split(self):
+        frags = fournf_decompose("ABC", [FD("B", "C")], [])
+        attrs = {frozenset(f.attributes) for f in frags}
+        assert attrs == {frozenset("BC"), frozenset("AB")}
+
+    def test_already_4nf(self):
+        frags = fournf_decompose("ABC", [FD("A", "BC")], [MVD("A", "B")])
+        assert len(frags) == 1
+
+    def test_classic_ctx_example(self):
+        # Course ->> Teacher | Text (independent facts): split into CT, CX.
+        frags = fournf_decompose("CTX", [], [MVD("C", "T")])
+        attrs = {frozenset(f.attributes) for f in frags}
+        assert attrs == {frozenset("CT"), frozenset("CX")}
+
+    def test_mixed_fd_and_mvd(self):
+        frags = fournf_decompose("ABCD", [FD("A", "B")], [MVD("A", "C")])
+        for frag in frags:
+            assert is_4nf(frag.attributes, list(frag.fds), list(frag.mvds))
+        covered = frozenset().union(*(f.attributes for f in frags))
+        assert covered == frozenset("ABCD")

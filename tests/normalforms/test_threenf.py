@@ -1,0 +1,56 @@
+"""Tests for 3NF synthesis."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chase.lossless import is_lossless
+from repro.chase.preservation import preserves_dependencies
+from repro.dependencies.fd import FD
+from repro.normalforms.checks import is_3nf
+from repro.normalforms.threenf import threenf_synthesize
+from repro.workloads.relational_gen import random_fds
+
+
+class Test3NFSynthesis:
+    def test_chain(self):
+        frags = threenf_synthesize("ABC", [FD("A", "B"), FD("B", "C")])
+        attrs = {frozenset(f.attributes) for f in frags}
+        assert attrs == {frozenset("AB"), frozenset("BC")}
+
+    def test_adds_key_fragment_when_needed(self):
+        # B->C over ABC: groups give BC only; key fragment AB added.
+        frags = threenf_synthesize("ABC", [FD("B", "C")])
+        covered = frozenset().union(*(f.attributes for f in frags))
+        assert covered == frozenset("ABC")
+        assert is_lossless("ABC", [f.attributes for f in frags], [FD("B", "C")])
+
+    def test_no_fds_single_fragment(self):
+        frags = threenf_synthesize("ABC", [])
+        assert len(frags) == 1
+        assert frags[0].attributes == frozenset("ABC")
+
+    def test_fragments_in_3nf(self):
+        fds = [FD("CS", "Z"), FD("Z", "C")]
+        for frag in threenf_synthesize("CSZ", fds):
+            assert is_3nf(frag.attributes, list(frag.fds))
+
+    def test_subsumed_fragments_dropped(self):
+        fds = [FD("A", "B"), FD("A", "BC")]
+        frags = threenf_synthesize("ABC", fds)
+        attrs = [f.attributes for f in frags]
+        for i, a in enumerate(attrs):
+            for j, b in enumerate(attrs):
+                if i != j:
+                    assert not a <= b
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 4))
+    def test_synthesis_guarantees(self, seed, n_fds):
+        """The three classical guarantees: 3NF, lossless, preserving."""
+        fds = random_fds("ABCD", n_fds, seed=seed)
+        frags = threenf_synthesize("ABCD", fds)
+        fragments = [f.attributes for f in frags]
+        assert preserves_dependencies(fds, fragments)
+        assert is_lossless("ABCD", fragments, fds)
+        for frag in frags:
+            assert is_3nf(frag.attributes, list(frag.fds))

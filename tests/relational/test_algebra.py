@@ -1,0 +1,98 @@
+"""Tests for the relational algebra operators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relational.algebra import (
+    difference,
+    natural_join,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+R = RelationSchema("R", ("A", "B"))
+S = RelationSchema("S", ("B", "C"))
+
+rows_strategy = st.sets(
+    st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=12
+)
+
+
+class TestProject:
+    def test_removes_duplicates(self):
+        rel = Relation(R, [(1, 9), (1, 8)])
+        assert len(project(rel, "A")) == 1
+
+    def test_preserves_column_order(self):
+        rel = Relation(RelationSchema("T", ("C", "A", "B")), [(1, 2, 3)])
+        out = project(rel, "AB")
+        assert out.schema.attributes == ("A", "B")
+        assert (2, 3) in out
+
+
+class TestSelect:
+    def test_predicate_sees_dict(self):
+        rel = Relation(R, [(1, 2), (3, 4)])
+        out = select(rel, lambda row: row["A"] > 1)
+        assert set(out.rows) == {(3, 4)}
+
+
+class TestRename:
+    def test_renames_and_keeps_rows(self):
+        rel = Relation(R, [(1, 2)])
+        out = rename(rel, {"A": "X"})
+        assert out.schema.attributes == ("X", "B")
+        assert (1, 2) in out
+
+
+class TestNaturalJoin:
+    def test_joins_on_shared_attribute(self):
+        left = Relation(R, [(1, 2), (3, 4)])
+        right = Relation(S, [(2, 9)])
+        out = natural_join(left, right)
+        assert out.schema.attributes == ("A", "B", "C")
+        assert set(out.rows) == {(1, 2, 9)}
+
+    def test_no_shared_attributes_is_product(self):
+        left = Relation(RelationSchema("L", ("A",)), [(1,), (2,)])
+        right = Relation(RelationSchema("Rr", ("B",)), [(3,)])
+        out = natural_join(left, right)
+        assert set(out.rows) == {(1, 3), (2, 3)}
+
+    @given(rows_strategy, rows_strategy)
+    def test_join_with_self_schema_is_intersection(self, rows_a, rows_b):
+        left = Relation(R, rows_a)
+        right = Relation(RelationSchema("R2", ("A", "B")), rows_b)
+        out = natural_join(left, right)
+        assert set(out.rows) == rows_a & rows_b
+
+
+class TestUnionDifference:
+    def test_union(self):
+        a = Relation(R, [(1, 2)])
+        b = Relation(R, [(3, 4)])
+        assert len(union(a, b)) == 2
+
+    def test_difference(self):
+        a = Relation(R, [(1, 2), (3, 4)])
+        b = Relation(R, [(3, 4)])
+        assert set(difference(a, b).rows) == {(1, 2)}
+
+    def test_schema_mismatch_rejected(self):
+        a = Relation(R, [(1, 2)])
+        b = Relation(S, [(1, 2)])
+        with pytest.raises(ValueError):
+            union(a, b)
+        with pytest.raises(ValueError):
+            difference(a, b)
+
+    @given(rows_strategy, rows_strategy)
+    def test_union_difference_laws(self, rows_a, rows_b):
+        a, b = Relation(R, rows_a), Relation(R, rows_b)
+        assert set(union(a, b).rows) == rows_a | rows_b
+        assert set(difference(a, b).rows) == rows_a - rows_b

@@ -1,0 +1,48 @@
+"""Tests for attribute-set helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relational.attributes import attrset, fmt_attrs
+
+
+class TestAttrset:
+    def test_concatenated_shorthand(self):
+        assert attrset("ABC") == frozenset({"A", "B", "C"})
+
+    def test_spaces_ignored(self):
+        assert attrset("A B C") == frozenset({"A", "B", "C"})
+
+    def test_comma_separated_long_names(self):
+        assert attrset("city,zip") == frozenset({"city", "zip"})
+
+    def test_comma_with_spaces(self):
+        assert attrset("city , zip") == frozenset({"city", "zip"})
+
+    def test_iterable(self):
+        assert attrset(["city", "zip"]) == frozenset({"city", "zip"})
+
+    def test_frozenset_passthrough(self):
+        s = frozenset({"A", "B"})
+        assert attrset(s) == s
+
+    def test_empty_string(self):
+        assert attrset("") == frozenset()
+
+    def test_duplicates_collapse(self):
+        assert attrset("AAB") == frozenset({"A", "B"})
+
+
+class TestFmtAttrs:
+    def test_single_char_concatenation(self):
+        assert fmt_attrs({"C", "A", "B"}) == "ABC"
+
+    def test_long_names_comma(self):
+        assert fmt_attrs({"zip", "city"}) == "city,zip"
+
+    def test_empty(self):
+        assert fmt_attrs(set()) == ""
+
+    @given(st.sets(st.sampled_from("ABCDEFG"), min_size=1, max_size=7))
+    def test_roundtrip_single_char(self, attrs):
+        assert attrset(fmt_attrs(attrs)) == frozenset(attrs)

@@ -1,0 +1,78 @@
+"""Tests for the design-notation parser."""
+
+import pytest
+
+from repro.dependencies.fd import FD
+from repro.dependencies.jd import JD
+from repro.dependencies.mvd import MVD
+from repro.relational.parser import parse_dependency, parse_design, parse_schema
+
+
+class TestParseSchema:
+    def test_basic(self):
+        schema = parse_schema("R(A, B, C)")
+        assert schema.name == "R"
+        assert schema.attrset == frozenset("ABC")
+
+    def test_concatenated(self):
+        assert parse_schema("R(ABC)").attrset == frozenset("ABC")
+
+    def test_long_names(self):
+        schema = parse_schema("orders(order_id, customer)")
+        assert schema.attrset == {"order_id", "customer"}
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_schema("not a schema")
+
+    def test_rejects_empty_attrs(self):
+        with pytest.raises(ValueError):
+            parse_schema("R()")
+
+
+class TestParseDependency:
+    def test_fd(self):
+        assert parse_dependency("A, B -> C") == FD("AB", "C")
+
+    def test_fd_concatenated(self):
+        assert parse_dependency("AB->C") == FD("AB", "C")
+
+    def test_mvd(self):
+        assert parse_dependency("A ->> B") == MVD("A", "B")
+
+    def test_jd(self):
+        assert parse_dependency("JOIN[AB, BC, CA]") == JD("AB", "BC", "CA")
+
+    def test_jd_case_insensitive(self):
+        assert parse_dependency("join[AB, AC]") == JD("AB", "AC")
+
+    def test_mvd_not_confused_with_fd(self):
+        dep = parse_dependency("A->>BC")
+        assert isinstance(dep, MVD)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_dependency("A = B")
+
+    def test_jd_needs_components(self):
+        with pytest.raises(ValueError):
+            parse_dependency("JOIN[AB]")
+
+
+class TestParseDesign:
+    def test_full_design(self):
+        schema, deps = parse_design("R(A,B,C); A->B; B->>C")
+        assert schema.attrset == frozenset("ABC")
+        assert deps == [FD("A", "B"), MVD("B", "C")]
+
+    def test_schema_only(self):
+        schema, deps = parse_design("R(AB)")
+        assert deps == []
+
+    def test_stray_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            parse_design("R(A,B); A->Z")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_design("  ;  ")

@@ -1,0 +1,64 @@
+"""Tests for relations and database instances."""
+
+import pytest
+
+from repro.relational.relation import DatabaseInstance, Relation
+from repro.relational.schema import RelationSchema
+
+SCHEMA = RelationSchema("R", ("A", "B"))
+
+
+class TestRelation:
+    def test_set_semantics_collapses_duplicates(self):
+        rel = Relation(SCHEMA, [(1, 2), (1, 2), (3, 4)])
+        assert len(rel) == 2
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Relation(SCHEMA, [(1, 2, 3)])
+
+    def test_from_dicts(self):
+        rel = Relation.from_dicts(SCHEMA, [{"A": 1, "B": 2}])
+        assert (1, 2) in rel
+
+    def test_get_by_attribute(self):
+        rel = Relation(SCHEMA, [(1, 2)])
+        row = next(iter(rel))
+        assert rel.get(row, "B") == 2
+
+    def test_row_dict(self):
+        rel = Relation(SCHEMA, [(1, 2)])
+        row = next(iter(rel))
+        assert rel.row_dict(row) == {"A": 1, "B": 2}
+
+    def test_with_rows_is_pure(self):
+        rel = Relation(SCHEMA, [(1, 2)])
+        bigger = rel.with_rows([(3, 4)])
+        assert len(rel) == 1
+        assert len(bigger) == 2
+
+    def test_active_domain(self):
+        rel = Relation(SCHEMA, [(1, 2), (2, 3)])
+        assert rel.active_domain() == frozenset({1, 2, 3})
+
+    def test_sorted_rows_deterministic(self):
+        rel = Relation(SCHEMA, [(3, 4), (1, 2)])
+        assert rel.sorted_rows() == ((1, 2), (3, 4))
+
+    def test_str_empty(self):
+        assert "empty" in str(Relation(SCHEMA))
+
+
+class TestDatabaseInstance:
+    def test_lookup_and_totals(self):
+        r = Relation(SCHEMA, [(1, 2)])
+        s = Relation(RelationSchema("S", ("B", "C")), [(2, 3), (4, 5)])
+        inst = DatabaseInstance([r, s])
+        assert inst["S"] is s
+        assert inst.total_rows() == 3
+        assert inst.active_domain() == frozenset({1, 2, 3, 4, 5})
+
+    def test_missing_relation(self):
+        inst = DatabaseInstance([Relation(SCHEMA, [(1, 2)])])
+        with pytest.raises(KeyError):
+            inst["Z"]

@@ -1,0 +1,75 @@
+"""Tests for relation and database schemas."""
+
+import pytest
+
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class TestRelationSchema:
+    def test_ordered_attributes(self):
+        schema = RelationSchema("R", ("B", "A"))
+        assert schema.attributes == ("B", "A")
+        assert schema.attrset == frozenset({"A", "B"})
+
+    def test_string_shorthand_sorts(self):
+        schema = RelationSchema("R", "BCA")
+        assert schema.attributes == ("A", "B", "C")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            RelationSchema("R", ("A", "A"))
+
+    def test_index(self):
+        schema = RelationSchema("R", ("A", "B"))
+        assert schema.index("B") == 1
+
+    def test_index_missing_raises_keyerror(self):
+        schema = RelationSchema("R", ("A",))
+        with pytest.raises(KeyError):
+            schema.index("Z")
+
+    def test_restrict_preserves_order(self):
+        schema = RelationSchema("R", ("C", "A", "B"))
+        sub = schema.restrict("AC")
+        assert sub.attributes == ("C", "A")
+
+    def test_restrict_unknown_attr(self):
+        schema = RelationSchema("R", ("A",))
+        with pytest.raises(KeyError):
+            schema.restrict("AZ")
+
+    def test_contains(self):
+        schema = RelationSchema("R", ("A", "B"))
+        assert "A" in schema
+        assert "Z" not in schema
+
+    def test_arity_and_str(self):
+        schema = RelationSchema("R", ("A", "B"))
+        assert schema.arity == 2
+        assert str(schema) == "R(A, B)"
+
+
+class TestDatabaseSchema:
+    def test_lookup_by_name(self):
+        r = RelationSchema("R", "AB")
+        s = RelationSchema("S", "BC")
+        db = DatabaseSchema([r, s])
+        assert db["S"] is s
+        assert "R" in db
+        assert len(db) == 2
+
+    def test_duplicate_names_rejected(self):
+        r1 = RelationSchema("R", "AB")
+        r2 = RelationSchema("R", "CD")
+        with pytest.raises(ValueError):
+            DatabaseSchema([r1, r2])
+
+    def test_missing_name_raises(self):
+        db = DatabaseSchema([RelationSchema("R", "AB")])
+        with pytest.raises(KeyError):
+            db["Z"]
+
+    def test_by_name(self):
+        r = RelationSchema("R", "AB")
+        db = DatabaseSchema([r])
+        assert db.by_name() == {"R": r}

@@ -1,0 +1,73 @@
+"""Tests for the one-call schema advisor."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.advisor import advise
+from repro.dependencies.fd import FD
+from repro.relational.schema import RelationSchema
+
+
+class TestAdviseWellDesigned:
+    def test_key_schema(self):
+        report = advise("R(A,B,C); A->BC")
+        assert report.well_designed
+        assert report.in_bcnf and report.in_4nf
+        assert report.witness_ric is None
+        assert report.repairs == ()
+        assert "well-designed" in report.summary()
+
+    def test_no_dependencies(self):
+        report = advise("R(A,B)")
+        assert report.well_designed
+        assert report.keys == (frozenset("AB"),)
+
+
+class TestAdviseRedundant:
+    def test_transitive_design(self):
+        report = advise("R(A,B,C); B->C")
+        assert not report.well_designed
+        assert report.witness_ric == Fraction(7, 8)
+        methods = [r.method for r in report.repairs]
+        assert methods == ["bcnf", "3nf"]
+        for repair in report.repairs:
+            assert repair.lossless
+
+    def test_csz_tradeoff_surfaces(self):
+        report = advise("R(C,S,Z); CS->Z; Z->C")
+        assert report.in_3nf and not report.in_bcnf
+        bcnf = next(r for r in report.repairs if r.method == "bcnf")
+        threenf = next(r for r in report.repairs if r.method == "3nf")
+        assert not bcnf.dependency_preserving
+        assert threenf.dependency_preserving
+
+    def test_mvd_design(self):
+        report = advise("R(C,T,X); C->>T")
+        assert not report.well_designed
+        assert not report.in_4nf
+        assert any(r.method == "4nf" for r in report.repairs)
+
+    def test_skip_witness_measurement(self):
+        report = advise("R(A,B,C); B->C", measure_witness=False)
+        assert not report.well_designed
+        assert report.witness_ric is None
+
+
+class TestAdviseInputs:
+    def test_tuple_input(self):
+        schema = RelationSchema("R", ("A", "B", "C"))
+        report = advise((schema, [FD("A", "BC")]))
+        assert report.well_designed
+
+    def test_jd_rejected_with_pointer(self):
+        with pytest.raises(ValueError, match="JD"):
+            advise("R(A,B,C); JOIN[AB, BC, CA]")
+
+    def test_minimal_cover_exposed(self):
+        report = advise("R(A,B,C); A->B; A->B; AB->C")
+        assert FD("A", "C") in report.minimal_cover or FD("A", "B") in report.minimal_cover
+
+    def test_summary_mentions_keys(self):
+        report = advise("R(A,B,C); B->C")
+        assert "keys:" in report.summary()

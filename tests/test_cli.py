@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestCLI:
+    def test_well_designed_exit_zero(self, capsys):
+        code = main(["R(A,B,C); A->BC"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "well-designed" in out
+
+    def test_redundant_exit_one(self, capsys):
+        code = main(["R(A,B,C); B->C"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "redundant" in out
+        assert "7/8" in out
+
+    def test_no_measure_flag(self, capsys):
+        code = main(["--no-measure", "R(A,B,C); B->C"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "7/8" not in out
+
+    def test_multiple_designs(self, capsys):
+        code = main(["R(A,B); A->B", "S(X,Y,Z); Y->Z"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert out.count("Design") == 2
+
+    def test_bad_input_exit_two(self, capsys):
+        code = main(["not a design"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error" in err
+
+    def test_parser_help_mentions_notation(self):
+        parser = build_parser()
+        assert "B->C" in parser.format_help()

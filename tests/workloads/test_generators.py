@@ -1,0 +1,90 @@
+"""Tests for the workload generators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependencies.mvd import MVD
+from repro.workloads.graph_gen import chain_graph, cycle_graph, random_graph
+from repro.workloads.relational_gen import (
+    paper_example_instance,
+    random_fds,
+    random_instance,
+)
+from repro.workloads.xml_gen import dblp_document, dblp_dtd, dblp_xfds
+
+
+class TestRelationalGen:
+    def test_random_fds_deterministic(self):
+        assert random_fds("ABCD", 3, seed=7) == random_fds("ABCD", 3, seed=7)
+
+    def test_random_fds_nontrivial(self):
+        for fd in random_fds("ABCD", 5, seed=1):
+            assert not fd.is_trivial()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_instance_satisfies_fds(self, seed):
+        fds = random_fds("ABCD", 3, seed=seed)
+        rel = random_instance("ABCD", fds=fds, n_rows=4, domain=4, seed=seed)
+        for fd in fds:
+            assert fd.is_satisfied_by(rel), (seed, str(fd))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_instance_satisfies_mvds(self, seed):
+        mvds = [MVD("A", "B")]
+        rel = random_instance("ABC", mvds=mvds, n_rows=3, domain=3, seed=seed)
+        for mvd in mvds:
+            assert mvd.is_satisfied_by(rel), seed
+
+    def test_cyclic_fd_sets_terminate(self):
+        """Regression: per-row overwrite repair oscillated forever on
+        cyclic FD sets; the merge-based repair must converge."""
+        from repro.dependencies.fd import FD
+
+        fds = [FD("A", "B"), FD("B", "A"), FD("AB", "C"), FD("C", "A")]
+        for seed in range(10):
+            rel = random_instance("ABC", fds=fds, n_rows=5, domain=5, seed=seed)
+            assert all(fd.is_satisfied_by(rel) for fd in fds), seed
+
+    def test_paper_example(self):
+        rel, fds = paper_example_instance()
+        assert len(rel) == 2
+        for fd in fds:
+            assert fd.is_satisfied_by(rel)
+
+
+class TestXMLGen:
+    def test_document_conforms_and_satisfies(self):
+        doc = dblp_document(2, 2, 2, seed=3)
+        dtd = dblp_dtd()
+        assert dtd.is_valid(doc)
+        for dep in dblp_xfds():
+            assert dep.is_satisfied_by(doc, dtd)
+
+    def test_sizes_scale(self):
+        small = dblp_document(1, 1, 1)
+        large = dblp_document(2, 3, 4)
+        assert large.size() > small.size()
+
+
+class TestGraphGen:
+    def test_chain_shape(self):
+        g = chain_graph(5)
+        assert len(g) == 6
+        assert g.edge_count() == 5
+
+    def test_cycle_shape(self):
+        g = cycle_graph(4)
+        assert len(g) == 4
+        assert g.edge_count() == 4
+
+    def test_random_graph_deterministic(self):
+        a = random_graph(10, 20, seed=5)
+        b = random_graph(10, 20, seed=5)
+        assert a.edges == b.edges
+
+    def test_random_graph_size(self):
+        g = random_graph(10, 20, seed=1)
+        assert len(g) == 10
+        assert g.edge_count() == 20

@@ -1,0 +1,54 @@
+"""Property tests tying the XML oracle to the reference XFD semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.xml_gen import dblp_dtd, dblp_xfds
+from repro.xml.measure import PositionedDocument
+from repro.xml.tree import XNode
+
+
+def doc_from_years(years):
+    """One conf, one issue, one paper per year value."""
+    db = XNode("db")
+    conf = db.add(XNode("conf", {"title": "t"}))
+    issue = conf.add(XNode("issue", {"number": 1}))
+    for i, year in enumerate(years):
+        issue.add(XNode("inproceedings", {"key": f"p{i}", "year": year}))
+    return db
+
+
+class TestOracleAgreesWithReference:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(2000, 2002), min_size=1, max_size=3))
+    def test_original_satisfaction_matches(self, years):
+        """PositionedDocument's compiled oracle and the reference
+        tree-tuple check must agree on whether the document satisfies Σ."""
+        doc = doc_from_years(years)
+        dtd, sigma = dblp_dtd(), dblp_xfds()
+        reference = all(dep.is_satisfied_by(doc, dtd) for dep in sigma)
+        compiled = PositionedDocument(doc, dtd, sigma).check_original()
+        assert compiled == reference
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(st.integers(2000, 2001), min_size=2, max_size=3),
+        st.integers(1990, 1995),
+    )
+    def test_substitution_matches_reference(self, years, new_year):
+        """Substituting a year through the oracle must agree with editing
+        the document and re-checking from scratch."""
+        doc = doc_from_years(years)
+        dtd, sigma = dblp_dtd(), dblp_xfds()
+        positioned = PositionedDocument(doc, dtd, sigma)
+        year_slots = [p for p in positioned.positions if p.attribute == "year"]
+        target = year_slots[0]
+
+        via_oracle = positioned.satisfies({target: new_year})
+
+        edited = doc_from_years(years)
+        papers = [n for n in edited.walk() if n.label == "inproceedings"]
+        papers[0].attrs["year"] = new_year
+        via_reference = all(dep.is_satisfied_by(edited, dtd) for dep in sigma)
+
+        assert via_oracle == via_reference

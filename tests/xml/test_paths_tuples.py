@@ -1,0 +1,82 @@
+"""Tests for DTD paths and tree tuples."""
+
+import pytest
+
+from repro.workloads.xml_gen import dblp_document, dblp_dtd
+from repro.xml.paths import Path, all_paths, attr_path, elem_path, parse_path
+from repro.xml.treetuples import BOTTOM, tree_tuples
+
+
+class TestPath:
+    def test_parse_element_path(self):
+        p = parse_path("db.conf.issue")
+        assert p.steps == ("db", "conf", "issue")
+        assert not p.is_attribute
+
+    def test_parse_attribute_path(self):
+        p = parse_path("db.conf.@title")
+        assert p.attr == "title"
+        assert p.element == elem_path("db", "conf")
+
+    def test_parent_chain(self):
+        p = attr_path("db", "conf", "title")
+        assert p.parent == elem_path("db", "conf")
+        assert p.parent.parent == elem_path("db")
+        assert elem_path("db").parent is None
+
+    def test_prefix(self):
+        assert elem_path("db").is_prefix_of(elem_path("db", "conf"))
+        assert not elem_path("db", "conf").is_prefix_of(elem_path("db"))
+
+    def test_child_and_attribute_builders(self):
+        p = elem_path("db").child("conf").attribute("title")
+        assert str(p) == "db.conf.@title"
+
+    def test_attribute_path_has_no_children(self):
+        with pytest.raises(ValueError):
+            attr_path("db", "x").child("y")
+
+    def test_ordering_mixed(self):
+        paths = [attr_path("db", "x"), elem_path("db"), elem_path("db", "a")]
+        assert sorted(paths)[0] == elem_path("db")
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            Path(())
+
+
+class TestAllPaths:
+    def test_dblp_path_universe(self):
+        paths = {str(p) for p in all_paths(dblp_dtd())}
+        assert "db" in paths
+        assert "db.conf.@title" in paths
+        assert "db.conf.issue.inproceedings.@year" in paths
+        assert len(paths) == 4 + 4  # 4 element paths + 4 attribute paths
+
+
+class TestTreeTuples:
+    def test_tuple_count_is_product_of_choices(self):
+        doc = dblp_document(n_confs=2, n_issues=2, n_papers=3)
+        tuples = tree_tuples(doc, dblp_dtd())
+        # one choice of conf (2) x issue (2) x paper (3)
+        assert len(tuples) == 2 * 2 * 3
+
+    def test_absent_branch_gives_bottom(self):
+        doc = dblp_document(n_confs=1, n_issues=0, n_papers=0)
+        tuples = tree_tuples(doc, dblp_dtd())
+        assert len(tuples) == 1
+        t = tuples[0]
+        issue = elem_path("db", "conf", "issue")
+        assert t[issue] is BOTTOM
+        assert t[issue.attribute("number")] is BOTTOM
+
+    def test_attribute_values_resolved(self):
+        doc = dblp_document(n_confs=1, n_issues=1, n_papers=1)
+        t = tree_tuples(doc, dblp_dtd())[0]
+        assert t[attr_path("db", "conf", "title")] == "conf0"
+
+    def test_node_ids_distinguish_nodes(self):
+        doc = dblp_document(n_confs=2, n_issues=1, n_papers=1)
+        tuples = tree_tuples(doc, dblp_dtd())
+        conf_ids = {t[elem_path("db", "conf")] for t in tuples}
+        assert len(conf_ids) == 2

@@ -1,0 +1,123 @@
+"""Tests for XML trees and simple DTDs."""
+
+import pytest
+
+from repro.xml.dtd import DTD, ElementDecl
+from repro.xml.tree import XNode, parse_tree
+from repro.workloads.xml_gen import dblp_document, dblp_dtd
+
+
+class TestXNode:
+    def test_parse_tree_spec(self):
+        doc = parse_tree(("db", {}, [("conf", {"title": "PODS"})]))
+        assert doc.label == "db"
+        assert doc.children[0].attrs["title"] == "PODS"
+
+    def test_walk_preorder(self):
+        doc = parse_tree(("a", {}, [("b", {}), ("c", {}, [("d", {})])]))
+        assert [n.label for n in doc.walk()] == ["a", "b", "c", "d"]
+
+    def test_copy_is_deep(self):
+        doc = parse_tree(("a", {"x": 1}, [("b", {"y": 2})]))
+        clone = doc.copy()
+        clone.children[0].attrs["y"] = 99
+        assert doc.children[0].attrs["y"] == 2
+
+    def test_counts(self):
+        doc = dblp_document(1, 1, 2)
+        assert doc.size() == 1 + 1 + 1 + 2
+        assert doc.attr_count() == 1 + 1 + 2 * 2
+
+    def test_render_contains_attrs(self):
+        doc = parse_tree(("a", {"x": 1}))
+        assert 'x="1"' in doc.render()
+
+
+class TestXMLRoundTrip:
+    def test_from_xml(self):
+        from repro.xml.tree import from_xml
+
+        doc = from_xml('<db><conf title="PODS"><issue number="22"/></conf></db>')
+        assert doc.label == "db"
+        assert doc.children[0].attrs == {"title": "PODS"}
+        assert doc.children[0].children[0].attrs == {"number": "22"}
+
+    def test_round_trip(self):
+        from repro.xml.tree import from_xml, to_xml
+
+        text = '<db><conf title="PODS"><issue number="22"/></conf></db>'
+        doc = from_xml(text)
+        again = from_xml(to_xml(doc))
+        assert to_xml(doc) == to_xml(again)
+
+    def test_text_content_ignored(self):
+        from repro.xml.tree import from_xml
+
+        doc = from_xml("<a><b>hello</b></a>")
+        assert doc.children[0].attrs == {}
+
+    def test_parsed_document_validates(self):
+        from repro.xml.tree import from_xml
+
+        text = (
+            '<db><conf title="t"><issue number="1">'
+            '<inproceedings key="p1" year="2003"/>'
+            "</issue></conf></db>"
+        )
+        assert dblp_dtd().is_valid(from_xml(text))
+
+
+class TestElementDecl:
+    def test_bad_multiplicity_rejected(self):
+        with pytest.raises(ValueError):
+            ElementDecl([("b", "**")])
+
+    def test_duplicate_child_rejected(self):
+        with pytest.raises(ValueError):
+            ElementDecl([("b", "*"), ("b", "?")])
+
+    def test_multiplicity_lookup(self):
+        decl = ElementDecl([("b", "?")])
+        assert decl.multiplicity("b") == "?"
+        with pytest.raises(KeyError):
+            decl.multiplicity("z")
+
+
+class TestDTD:
+    def test_root_must_be_declared(self):
+        with pytest.raises(ValueError):
+            DTD("db", {})
+
+    def test_recursion_rejected(self):
+        with pytest.raises(ValueError):
+            DTD("a", {"a": ElementDecl([("a", "*")])})
+
+    def test_validate_accepts_dblp(self):
+        assert dblp_dtd().is_valid(dblp_document())
+
+    def test_validate_missing_attr(self):
+        dtd = dblp_dtd()
+        doc = dblp_document()
+        del doc.children[0].attrs["title"]
+        errors = dtd.validate(doc)
+        assert any("missing attribute" in e for e in errors)
+
+    def test_validate_undeclared_child(self):
+        dtd = dblp_dtd()
+        doc = dblp_document()
+        doc.add(XNode("rogue"))
+        assert any("undeclared child" in e for e in dtd.validate(doc))
+
+    def test_validate_multiplicity_one(self):
+        dtd = DTD(
+            "a",
+            {"a": ElementDecl([("b", "1")]), "b": ElementDecl()},
+        )
+        assert not dtd.is_valid(parse_tree(("a", {})))
+        assert dtd.is_valid(parse_tree(("a", {}, [("b", {})])))
+
+    def test_with_element_replaces(self):
+        dtd = dblp_dtd()
+        updated = dtd.with_element("conf", ElementDecl([("issue", "*")], ["title", "city"]))
+        assert "city" in updated.decl("conf").attrs
+        assert "city" not in dtd.decl("conf").attrs

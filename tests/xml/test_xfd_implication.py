@@ -1,0 +1,87 @@
+"""Tests for XFDs and their implication."""
+
+from repro.workloads.xml_gen import dblp_document, dblp_dtd, dblp_xfds
+from repro.xml.implication import (
+    structural_fds,
+    xfd_closure,
+    xfd_implies,
+    xfd_is_trivial,
+)
+from repro.xml.paths import attr_path, elem_path
+from repro.xml.tree import XNode
+from repro.xml.xfd import XFD
+
+DTD = dblp_dtd()
+ISSUE = elem_path("db", "conf", "issue")
+INPROC = ISSUE.child("inproceedings")
+
+
+class TestXFDSatisfaction:
+    def test_dblp_constraints_hold_on_generated_docs(self):
+        doc = dblp_document(2, 2, 2, seed=5)
+        for dep in dblp_xfds():
+            assert dep.is_satisfied_by(doc, DTD)
+
+    def test_violation_detected(self):
+        doc = dblp_document(1, 1, 2)
+        # Give the two papers of one issue different years.
+        papers = [n for n in doc.walk() if n.label == "inproceedings"]
+        papers[0].attrs["year"] = 1999
+        papers[1].attrs["year"] = 2001
+        xfd = XFD([ISSUE], INPROC.attribute("year"))
+        assert not xfd.is_satisfied_by(doc, DTD)
+
+    def test_bottom_lhs_rows_ignored(self):
+        # An issue with no papers: the year XFD is vacuously fine there.
+        doc = XNode("db")
+        conf = doc.add(XNode("conf", {"title": "t"}))
+        conf.add(XNode("issue", {"number": 1}))
+        xfd = XFD([INPROC], INPROC.attribute("year"))
+        assert xfd.is_satisfied_by(doc, DTD)
+
+    def test_key_xfd(self):
+        doc = dblp_document(1, 2, 2)
+        key = XFD([INPROC.attribute("key")], INPROC)
+        assert key.is_satisfied_by(doc, DTD)
+        papers = [n for n in doc.walk() if n.label == "inproceedings"]
+        papers[0].attrs["key"] = papers[-1].attrs["key"]
+        assert not key.is_satisfied_by(doc, DTD)
+
+
+class TestStructuralFDs:
+    def test_child_determines_parent(self):
+        deps = structural_fds(DTD)
+        assert XFD([INPROC], ISSUE) in deps
+
+    def test_element_determines_attributes(self):
+        deps = structural_fds(DTD)
+        assert XFD([INPROC], INPROC.attribute("year")) in deps
+
+
+class TestImplication:
+    def test_structure_only(self):
+        assert xfd_implies(DTD, [], XFD([INPROC], ISSUE.attribute("number")))
+
+    def test_given_xfd_used(self):
+        sigma = dblp_xfds()
+        assert xfd_implies(DTD, sigma, XFD([ISSUE], INPROC.attribute("year")))
+
+    def test_transitive_through_structure(self):
+        sigma = dblp_xfds()
+        # key determines the paper node, which determines its year.
+        assert xfd_implies(
+            DTD, sigma, XFD([INPROC.attribute("key")], INPROC.attribute("year"))
+        )
+
+    def test_non_implication(self):
+        assert not xfd_implies(
+            DTD, [], XFD([ISSUE], INPROC.attribute("year"))
+        )
+
+    def test_root_always_in_closure(self):
+        closure = xfd_closure(DTD, [], [INPROC])
+        assert elem_path("db") in closure
+
+    def test_triviality(self):
+        assert xfd_is_trivial(DTD, XFD([INPROC], ISSUE))
+        assert not xfd_is_trivial(DTD, XFD([ISSUE], INPROC))

@@ -1,0 +1,131 @@
+"""Tests for XNF and its normalization algorithm."""
+
+import pytest
+
+from repro.workloads.xml_gen import dblp_document, dblp_dtd, dblp_xfds
+from repro.xml.dtd import DTD, ElementDecl
+from repro.xml.normalize import NormalizationError, normalize_to_xnf
+from repro.xml.paths import attr_path, elem_path
+from repro.xml.tree import XNode, parse_tree
+from repro.xml.xfd import XFD
+from repro.xml.xnf import anomalous_xfds, is_xnf
+
+
+class TestXNF:
+    def test_dblp_not_in_xnf(self):
+        assert not is_xnf(dblp_dtd(), dblp_xfds())
+
+    def test_anomaly_is_the_year_xfd(self):
+        anomalies = anomalous_xfds(dblp_dtd(), dblp_xfds())
+        assert len(anomalies) == 1
+        assert str(anomalies[0].rhs) == "db.conf.issue.inproceedings.@year"
+
+    def test_key_xfds_are_not_anomalous(self):
+        inproc = elem_path("db", "conf", "issue", "inproceedings")
+        sigma = [XFD([inproc.attribute("key")], inproc)]
+        assert is_xnf(dblp_dtd(), sigma)
+
+    def test_empty_sigma_is_xnf(self):
+        assert is_xnf(dblp_dtd(), [])
+
+
+class TestMoveAttribute:
+    def test_dblp_normalization_moves_year(self):
+        result = normalize_to_xnf(dblp_dtd(), dblp_xfds(), dblp_document())
+        assert is_xnf(result.dtd, result.sigma)
+        assert "year" in result.dtd.decl("issue").attrs
+        assert "year" not in result.dtd.decl("inproceedings").attrs
+        assert len(result.steps) == 1
+
+    def test_document_rewritten_and_valid(self):
+        doc = dblp_document(2, 2, 3, seed=1)
+        result = normalize_to_xnf(dblp_dtd(), dblp_xfds(), doc)
+        assert result.doc is not None
+        assert result.dtd.is_valid(result.doc)
+        # Information preserved: each issue carries its year exactly once.
+        for issue in (n for n in result.doc.walk() if n.label == "issue"):
+            assert "year" in issue.attrs
+
+    def test_original_document_untouched(self):
+        doc = dblp_document()
+        papers_before = [
+            dict(n.attrs) for n in doc.walk() if n.label == "inproceedings"
+        ]
+        normalize_to_xnf(dblp_dtd(), dblp_xfds(), doc)
+        papers_after = [
+            dict(n.attrs) for n in doc.walk() if n.label == "inproceedings"
+        ]
+        assert papers_before == papers_after
+
+    def test_inconsistent_document_rejected(self):
+        doc = dblp_document(1, 1, 2)
+        papers = [n for n in doc.walk() if n.label == "inproceedings"]
+        papers[0].attrs["year"] = 1999
+        papers[1].attrs["year"] = 2001
+        with pytest.raises(NormalizationError):
+            normalize_to_xnf(dblp_dtd(), dblp_xfds(), doc)
+
+
+def relational_style_design():
+    """<db> <t @A @B @C>* </db> with the embedded FD @A -> @B."""
+    dtd = DTD(
+        "db",
+        {
+            "db": ElementDecl([("t", "*")]),
+            "t": ElementDecl([], attrs=["A", "B", "C"]),
+        },
+    )
+    t = elem_path("db", "t")
+    sigma = [XFD([t.attribute("A")], t.attribute("B"))]
+    doc = parse_tree(
+        (
+            "db",
+            {},
+            [
+                ("t", {"A": 1, "B": 2, "C": 3}),
+                ("t", {"A": 1, "B": 2, "C": 4}),
+                ("t", {"A": 5, "B": 6, "C": 7}),
+            ],
+        )
+    )
+    return dtd, sigma, doc
+
+
+class TestCreateElementType:
+    def test_relational_fd_triggers_new_element(self):
+        dtd, sigma, doc = relational_style_design()
+        assert not is_xnf(dtd, sigma)
+        result = normalize_to_xnf(dtd, sigma, doc)
+        assert is_xnf(result.dtd, result.sigma)
+        # @B left the t element; a new element type carries (A, B) pairs.
+        assert "B" not in result.dtd.decl("t").attrs
+        new_labels = set(result.dtd.elements) - {"db", "t"}
+        assert len(new_labels) == 1
+
+    def test_document_gets_one_node_per_group(self):
+        dtd, sigma, doc = relational_style_design()
+        result = normalize_to_xnf(dtd, sigma, doc)
+        new_label = next(iter(set(result.dtd.elements) - {"db", "t"}))
+        holders = [n for n in result.doc.walk() if n.label == new_label]
+        # Two distinct (A, B) combinations: (1,2) and (5,6).
+        assert len(holders) == 2
+        assert result.dtd.is_valid(result.doc)
+
+    def test_normalized_sigma_keys_new_element(self):
+        dtd, sigma, doc = relational_style_design()
+        result = normalize_to_xnf(dtd, sigma, doc)
+        assert is_xnf(result.dtd, result.sigma)
+        assert any(not dep.rhs.is_attribute for dep in result.sigma)
+
+    def test_transformed_document_satisfies_new_sigma(self):
+        """Soundness of the rewrite: the new constraints must actually
+        hold on the rewritten document (regression: a mis-anchored new
+        element violated its own key XFD)."""
+        for design in (relational_style_design(),):
+            dtd, sigma, doc = design
+            result = normalize_to_xnf(dtd, sigma, doc)
+            for dep in result.sigma:
+                assert dep.is_satisfied_by(result.doc, result.dtd), str(dep)
+        result = normalize_to_xnf(dblp_dtd(), dblp_xfds(), dblp_document(2, 2, 2))
+        for dep in result.sigma:
+            assert dep.is_satisfied_by(result.doc, result.dtd), str(dep)
