@@ -15,6 +15,7 @@ import time
 from repro.core import PositionedInstance, ric_exact, ric_montecarlo
 from repro.dependencies import FD
 from repro.relational import Relation, RelationSchema
+from repro.service.pool import ric_montecarlo_parallel
 
 from benchmarks.common import print_table
 
@@ -66,6 +67,46 @@ def test_e10_table(benchmark):
     assert exact_times[-1] / max(exact_times[0], 1e-3) > (
         mc_times[-1] / max(mc_times[0], 1e-3)
     )
+
+
+def test_e10_parallel_mc(benchmark):
+    """Sharded Monte-Carlo across the worker pool: the estimate is
+    bit-identical for every worker count (counter-based seeding); the
+    wall-clock column shows the sharding speedup on multi-core hosts
+    (threads serialize on the GIL on a single core, so no timing
+    assertion is made here)."""
+    inst = instance_with_rows(4)
+    p = inst.position("R", 0, "C")
+    samples, seed = 400, 11
+
+    def run():
+        rows = []
+        baseline = None
+        for workers in (1, 2, 4):
+            start = time.perf_counter()
+            est = ric_montecarlo_parallel(
+                inst, p, samples=samples, seed=seed, workers=workers
+            )
+            elapsed = time.perf_counter() - start
+            baseline = baseline if baseline is not None else est
+            rows.append(
+                (
+                    workers,
+                    f"{est.mean:.6f}",
+                    f"{est.stderr:.6f}",
+                    f"{elapsed * 1e3:.1f} ms",
+                    est == baseline,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        f"E10b: sharded Monte Carlo ({samples} samples, seed {seed})",
+        ["workers", "estimate", "stderr", "time", "== 1-worker"],
+        rows,
+    )
+    assert all(r[4] for r in rows)
 
 
 def test_e10_exact_kernel(benchmark):

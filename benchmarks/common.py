@@ -6,16 +6,64 @@ reproduced results are judged by) and registers timing benchmarks for the
 computational kernels involved.  Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Passing ``--json PATH`` (added by ``benchmarks/conftest.py``) makes every
+table printed through :func:`print_table` also accumulate as a
+machine-readable record; the records are written to *PATH* as one JSON
+document at the end of the session::
+
+    pytest benchmarks/ --benchmark-only -s --json bench_results.json
+
+The document shape is ``{"tables": [{"title", "header", "rows"}, ...]}``
+with every cell stringified exactly as printed, so downstream tooling
+sees the same numbers a human does.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+import json
+from typing import Iterable, List, Optional, Sequence
+
+#: Where to write the JSON document (set by the ``--json`` CLI option).
+_JSON_PATH: Optional[str] = None
+
+#: Tables accumulated during this pytest session.
+_RECORDS: List[dict] = []
+
+
+def set_json_path(path: Optional[str]) -> None:
+    """Install the ``--json`` destination (None disables recording)."""
+    global _JSON_PATH
+    _JSON_PATH = path
+    _RECORDS.clear()
+
+
+def record_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Accumulate one table for the JSON document (no-op without --json)."""
+    if _JSON_PATH is None:
+        return
+    _RECORDS.append(
+        {
+            "title": title,
+            "header": [str(h) for h in header],
+            "rows": [[str(c) for c in row] for row in rows],
+        }
+    )
+
+
+def flush_json() -> None:
+    """Write the accumulated tables to the ``--json`` path, if any."""
+    if _JSON_PATH is None or not _RECORDS:
+        return
+    with open(_JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump({"tables": _RECORDS}, handle, indent=2)
+        handle.write("\n")
 
 
 def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
-    """Render one experiment table to stdout."""
+    """Render one experiment table to stdout (and the --json recorder)."""
     rows = [tuple(str(c) for c in row) for row in rows]
+    record_table(title, header, rows)
     widths = [len(h) for h in header]
     for row in rows:
         for i, cell in enumerate(row):

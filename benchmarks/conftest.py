@@ -1,0 +1,30 @@
+"""Benchmark-suite pytest hooks: the ``--json PATH`` results emitter.
+
+``pytest benchmarks/ --benchmark-only -s --json results.json`` makes
+every table printed through :func:`benchmarks.common.print_table` also
+accumulate as a machine-readable record; the collected records are
+written to *PATH* as one JSON document when the session ends.  This is
+what fills the ``BENCH_*.json`` perf-trajectory files.
+"""
+
+from __future__ import annotations
+
+from benchmarks import common
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write benchmark tables as machine-readable JSON to PATH",
+    )
+
+
+def pytest_configure(config):
+    common.set_json_path(config.getoption("--json"))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    common.flush_json()

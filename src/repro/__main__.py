@@ -1,18 +1,28 @@
-"""Command-line entry point: the schema advisor.
+"""Command-line entry point: the schema advisor and the batch runtime.
 
 Usage::
 
     python -m repro "R(A,B,C); B->C"
     python -m repro --no-measure "R(C,S,Z); CS->Z; Z->C"
+    python -m repro --method montecarlo --samples 400 --seed 7 "R(A,B,C); B->C"
+    python -m repro batch jobs.jsonl --workers 4 --cache cache.json
 
-Prints the :class:`repro.advisor.DesignReport` summary for each design
-argument.  ``--no-measure`` skips the (exponential-sweep) exact witness
-measurement and reports the syntactic diagnosis only.
+The default mode prints the :class:`repro.advisor.DesignReport` summary
+for each design argument.  ``--no-measure`` skips the witness
+measurement; ``--method montecarlo`` replaces the exponential exact
+sweep with the deterministic sampled estimator (``--samples``,
+``--seed``).
+
+``batch`` executes a JSONL job file (one job object per line — see
+:mod:`repro.service.jobs`) through the worker pool and the
+content-addressed result cache, and prints a JSON report with per-job
+timing plus cache and engine-metrics summaries.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -20,12 +30,13 @@ from repro.advisor import advise
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser (exposed for testing)."""
+    """The advisor CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
             "Diagnose relational designs with the information-theoretic "
-            "normal-form framework (Arenas-Libkin, PODS 2003)."
+            "normal-form framework (Arenas-Libkin, PODS 2003). "
+            "Run 'python -m repro batch --help' for JSONL batch mode."
         ),
     )
     parser.add_argument(
@@ -37,19 +48,135 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-measure",
         action="store_true",
-        help="skip the exact witness measurement (syntactic diagnosis only)",
+        help="skip the witness measurement (syntactic diagnosis only)",
+    )
+    parser.add_argument(
+        "--method",
+        choices=("exact", "montecarlo"),
+        default="exact",
+        help="witness RIC engine: exact exponential sweep (default) or "
+        "the scalable deterministic Monte-Carlo estimator",
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=200,
+        metavar="N",
+        help="Monte-Carlo sample count (default 200)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="Monte-Carlo master seed (default 0; estimates are "
+        "deterministic in (samples, seed))",
     )
     return parser
 
 
+def build_batch_parser() -> argparse.ArgumentParser:
+    """The ``batch`` subcommand parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro batch",
+        description=(
+            "Execute a JSONL job file (advise/measure/rpq jobs) through "
+            "the worker pool and the content-addressed result cache."
+        ),
+    )
+    parser.add_argument("jobs", metavar="JOBS.jsonl", help="JSONL job file")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker pool size (default 4)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        help="persistent cache file: loaded if present, saved on exit "
+        "(re-running an unchanged batch then reports a 100%% hit rate)",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="maximum cached results (default 1024)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget (default: unlimited); oversized "
+        "exact sweeps degrade to Monte Carlo before failing",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the JSON report here instead of stdout",
+    )
+    return parser
+
+
+def batch_main(argv: List[str]) -> int:
+    """Run the ``batch`` subcommand; returns a process exit code
+    (0 = every job succeeded, 1 = some job failed, 2 = bad input)."""
+    from repro.service.budget import Budget
+    from repro.service.cache import ResultCache
+    from repro.service.jobs import JobError
+    from repro.service.runner import format_report, run_batch
+
+    args = build_batch_parser().parse_args(argv)
+
+    cache = None
+    if args.cache and os.path.exists(args.cache):
+        cache = ResultCache.load(args.cache, maxsize=args.cache_size)
+    elif args.cache:
+        cache = ResultCache(maxsize=args.cache_size)
+
+    try:
+        budget = Budget(wall_seconds=args.timeout)
+        report = run_batch(
+            args.jobs, workers=args.workers, cache=cache, budget=budget
+        )
+    except (OSError, JobError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.cache:
+        cache.save(args.cache)
+
+    text = format_report(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    return 0 if report["failed"] == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Run the advisor over each design; returns a process exit code
-    (0 = all designs well-designed, 1 = redundancy found, 2 = bad input)."""
+    """Dispatch to the advisor (default) or the ``batch`` subcommand;
+    returns a process exit code (advisor: 0 = all designs well-designed,
+    1 = redundancy found, 2 = bad input)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "batch":
+        return batch_main(argv[1:])
+
     args = build_parser().parse_args(argv)
     any_redundant = False
     for design in args.designs:
         try:
-            report = advise(design, measure_witness=not args.no_measure)
+            report = advise(
+                design,
+                measure_witness=not args.no_measure,
+                method=args.method,
+                samples=args.samples,
+                seed=args.seed,
+            )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

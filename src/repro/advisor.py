@@ -17,6 +17,7 @@ from typing import List, Optional, Tuple, Union
 from repro.chase.lossless import is_lossless
 from repro.chase.preservation import preserves_dependencies
 from repro.core.measure import ric
+from repro.core.montecarlo import MCEstimate
 from repro.core.welldesign import witness_instance
 from repro.dependencies.fd import FD
 from repro.dependencies.jd import JD
@@ -64,7 +65,7 @@ class DesignReport:
     in_bcnf: bool
     in_4nf: bool
     well_designed: bool
-    witness_ric: Optional[Fraction]
+    witness_ric: Optional[Union[Fraction, MCEstimate]]
     witness_position: Optional[str]
     repairs: Tuple[RepairOption, ...] = field(default_factory=tuple)
 
@@ -83,6 +84,13 @@ class DesignReport:
             lines.append(
                 "  verdict: redundant (syntactic; witness not measured)"
             )
+        elif isinstance(self.witness_ric, MCEstimate):
+            est = self.witness_ric
+            lines.append(
+                f"  verdict: redundant — witness {self.witness_position} "
+                f"carries RIC ≈ {est.mean:.3f} "
+                f"(±{1.96 * est.stderr:.3f}, {est.samples} samples)"
+            )
         else:
             lines.append(
                 f"  verdict: redundant — witness {self.witness_position} "
@@ -97,13 +105,19 @@ class DesignReport:
 def advise(
     design: Union[str, Tuple[RelationSchema, list]],
     measure_witness: bool = True,
+    method: str = "exact",
+    samples: int = 200,
+    seed: int = 0,
 ) -> DesignReport:
     """Diagnose a design given as notation text or (schema, deps) pair.
 
-    With ``measure_witness`` (default) the advisor computes the exact
-    ``RIC`` of the canonical witness position when the design is not
-    well-designed; pass ``False`` to skip the (exponential-sweep)
-    measurement and rely on the syntactic characterization alone.
+    With ``measure_witness`` (default) the advisor computes the ``RIC``
+    of the canonical witness position when the design is not
+    well-designed; pass ``False`` to skip the measurement and rely on
+    the syntactic characterization alone.  *method* selects the witness
+    engine: ``"exact"`` (exponential sweep, exact
+    :class:`~fractions.Fraction`) or ``"montecarlo"`` (the scalable
+    deterministic estimator under ``(samples, seed)``).
     """
     if isinstance(design, str):
         schema, deps = parse_design(design)
@@ -130,7 +144,9 @@ def advise(
         witness = witness_instance(universe, fds, mvds)
         if witness is not None:
             inst, pos = witness
-            witness_ric = ric(inst, pos)
+            witness_ric = ric(
+                inst, pos, method=method, samples=samples, seed=seed
+            )
             witness_pos = str(pos)
 
     repairs: List[RepairOption] = []

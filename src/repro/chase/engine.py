@@ -26,6 +26,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.chase.tableau import is_var
 from repro.dependencies.fd import FD
+from repro.service.metrics import METRICS
 from repro.dependencies.jd import JD
 from repro.dependencies.mvd import MVD
 from repro.relational.relation import Relation
@@ -202,7 +203,11 @@ def chase(
                     if steps > max_steps:
                         raise RuntimeError("chase exceeded max_steps")
     except _Inconsistent:
+        METRICS.inc("chase.runs")
+        METRICS.inc("chase.steps", steps)
         return ChaseResult(relation, False, subst, steps)
 
+    METRICS.inc("chase.runs")
+    METRICS.inc("chase.steps", steps)
     chased = Relation(relation.schema, set(rows))
     return ChaseResult(chased, True, subst, steps)

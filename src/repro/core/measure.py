@@ -36,18 +36,21 @@ def ric(
     method: str = "exact",
     samples: int = 200,
     rng: Optional[random.Random] = None,
+    seed: int = 0,
 ) -> Union[Fraction, MCEstimate]:
     """The relative information content ``RIC_I(p | Σ) ∈ [0, 1]``.
 
     *method*: ``"exact"`` returns a :class:`~fractions.Fraction` (sweeps
     all revealed sets); ``"montecarlo"`` returns an
     :class:`~repro.core.montecarlo.MCEstimate` and scales to instances the
-    exact sweep cannot handle.
+    exact sweep cannot handle.  The Monte-Carlo path is deterministic in
+    ``(samples, seed)`` unless an explicit *rng* is given (see
+    :func:`~repro.core.montecarlo.ric_montecarlo`).
     """
     if method == "exact":
         return ric_exact(instance, p)
     if method == "montecarlo":
-        return ric_montecarlo(instance, p, samples=samples, rng=rng)
+        return ric_montecarlo(instance, p, samples=samples, rng=rng, seed=seed)
     raise ValueError(f"unknown method {method!r}")
 
 
@@ -56,9 +59,10 @@ def ric_profile(
     method: str = "exact",
     samples: int = 200,
     rng: Optional[random.Random] = None,
+    seed: int = 0,
 ) -> Dict[Position, Union[Fraction, MCEstimate]]:
     """``RIC`` for every position of the instance."""
     return {
-        p: ric(instance, p, method=method, samples=samples, rng=rng)
+        p: ric(instance, p, method=method, samples=samples, rng=rng, seed=seed)
         for p in instance.positions
     }

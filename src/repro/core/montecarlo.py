@@ -6,6 +6,24 @@ revealed sets uniformly (each position revealed independently with
 probability 1/2, which is exactly the uniform distribution over subsets)
 and computes the **exact** limit ratio of each sampled world, so the
 estimator is unbiased for ``RIC`` with per-sample values in ``[0, 1]``.
+
+Determinism and chunking
+------------------------
+
+The default sampling path is **counter-based**: sample ``j`` draws its
+revealed set from a private ``random.Random`` seeded by ``mix(seed, j)``.
+That makes the estimate a pure function of ``(instance, p, samples,
+seed)`` — independent of chunk boundaries, worker count, and evaluation
+order — so a chunked parallel run (:func:`ric_mc_chunk` sharded over
+``[0, samples)`` and combined with :func:`merge_mc_chunks`) reproduces
+the serial result **exactly**, and cache keys built from ``(…, samples,
+seed)`` are sound.
+
+``ric_montecarlo`` therefore never touches the global :mod:`random`
+state: with no arguments it uses ``seed=0`` (reproducible by default).
+Passing an explicit ``rng`` selects the legacy single-stream path kept
+for the pre-existing benchmarks; that path depends on sample order and
+cannot be chunked.
 """
 
 from __future__ import annotations
@@ -13,11 +31,22 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.core.positions import Position, PositionedInstance
 from repro.core.symbolic import world_limit_ratio
 from repro.core.worlds import World
+from repro.service.metrics import METRICS
+
+#: Knuth-style multiplicative mixer; decorrelates consecutive sample
+#: indices before they seed the per-sample Mersenne Twister.
+_MIX = 0x9E3779B97F4A7C15
+_MASK = (1 << 64) - 1
+
+
+def _sample_rng(seed: int, index: int) -> random.Random:
+    """The private RNG of sample *index* under master *seed*."""
+    return random.Random(((seed + 1) * _MIX + index * 0x85EBCA6B) & _MASK)
 
 
 @dataclass(frozen=True)
@@ -37,18 +66,91 @@ class MCEstimate:
         return self.mean
 
 
+@dataclass(frozen=True)
+class MCChunk:
+    """Mergeable sufficient statistics of one shard of samples.
+
+    A chunk carries the running sum and sum of squares of its per-world
+    limit ratios; chunks from disjoint index ranges merge associatively,
+    so any partition of ``[0, samples)`` yields the same estimate.
+    """
+
+    total: float
+    total_sq: float
+    samples: int
+
+    def merge(self, other: "MCChunk") -> "MCChunk":
+        """Combine two disjoint shards."""
+        return MCChunk(
+            total=self.total + other.total,
+            total_sq=self.total_sq + other.total_sq,
+            samples=self.samples + other.samples,
+        )
+
+
+def ric_mc_chunk(
+    instance: PositionedInstance,
+    p: Position,
+    start: int,
+    count: int,
+    seed: int = 0,
+) -> MCChunk:
+    """Evaluate samples ``start … start+count−1`` of the seeded estimator.
+
+    The shard is deterministic in ``(instance, p, start, count, seed)``;
+    sharding ``[0, samples)`` across workers and merging reproduces the
+    unchunked :func:`ric_montecarlo` result exactly.
+    """
+    if count < 0:
+        raise ValueError("negative chunk size")
+    others = [q for q in instance.positions if q != p]
+    total = 0.0
+    total_sq = 0.0
+    for j in range(start, start + count):
+        rng = _sample_rng(seed, j)
+        revealed = frozenset(q for q in others if rng.random() < 0.5)
+        ratio = float(world_limit_ratio(World(instance, p, revealed)))
+        total += ratio
+        total_sq += ratio * ratio
+    METRICS.inc("ric.mc.samples", count)
+    METRICS.inc("ric.mc.chunks")
+    return MCChunk(total=total, total_sq=total_sq, samples=count)
+
+
+def merge_mc_chunks(chunks: Iterable[MCChunk]) -> MCEstimate:
+    """Fold disjoint chunks into the final :class:`MCEstimate`."""
+    merged = MCChunk(0.0, 0.0, 0)
+    for chunk in chunks:
+        merged = merged.merge(chunk)
+    if merged.samples <= 0:
+        raise ValueError("need at least one sample")
+    mean = merged.total / merged.samples
+    variance = max(0.0, merged.total_sq / merged.samples - mean * mean)
+    stderr = math.sqrt(variance / merged.samples)
+    return MCEstimate(mean=mean, stderr=stderr, samples=merged.samples)
+
+
 def ric_montecarlo(
     instance: PositionedInstance,
     p: Position,
     samples: int = 200,
     rng: Optional[random.Random] = None,
+    seed: int = 0,
 ) -> MCEstimate:
-    """Estimate ``RIC_I(p | Σ)`` from *samples* random revealed sets."""
+    """Estimate ``RIC_I(p | Σ)`` from *samples* random revealed sets.
+
+    By default the counter-based sampler under *seed* is used (see the
+    module docstring): deterministic, chunkable, never the global
+    :mod:`random` state.  Passing *rng* selects the legacy single-stream
+    sampler instead (kept for the E9/E10 benchmarks); *seed* is then
+    ignored.
+    """
     if samples <= 0:
         raise ValueError("need at least one sample")
-    rng = rng or random.Random(0)
-    others = [q for q in instance.positions if q != p]
+    if rng is None:
+        return merge_mc_chunks([ric_mc_chunk(instance, p, 0, samples, seed)])
 
+    others = [q for q in instance.positions if q != p]
     total = 0.0
     total_sq = 0.0
     for _ in range(samples):
@@ -56,6 +158,7 @@ def ric_montecarlo(
         ratio = float(world_limit_ratio(World(instance, p, revealed)))
         total += ratio
         total_sq += ratio * ratio
+    METRICS.inc("ric.mc.samples", samples)
 
     mean = total / samples
     variance = max(0.0, total_sq / samples - mean * mean)

@@ -27,6 +27,7 @@ from typing import Iterable, Iterator, List, Optional, Tuple
 from repro.core.patterns import max_fresh, pattern_counts
 from repro.core.positions import Position, PositionedInstance
 from repro.core.worlds import FRESH, World
+from repro.service.metrics import METRICS
 
 
 def falling_factorial(n: int, b: int) -> int:
@@ -127,6 +128,8 @@ def inf_k_symbolic(
     for revealed in revealed_subsets(instance, p):
         total += world_entropy_k(World(instance, p, revealed), k)
         count += 1
+    METRICS.inc("ric.sweeps")
+    METRICS.inc("ric.sweep.worlds", count)
     return total / count
 
 
@@ -147,4 +150,6 @@ def ric_exact(
     for revealed in revealed_subsets(instance, p):
         total += world_limit_ratio(World(instance, p, revealed))
         count += 1
+    METRICS.inc("ric.sweeps")
+    METRICS.inc("ric.sweep.worlds", count)
     return total / count

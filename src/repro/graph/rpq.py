@@ -19,6 +19,7 @@ from typing import Any, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 from repro.graph.graphdb import GraphDB
 from repro.graph.nfa import EPSILON, NFA, regex_to_nfa
 from repro.graph.regex import Regex, parse_regex
+from repro.service.metrics import METRICS
 
 Pair = Tuple[Any, Any]
 
@@ -73,8 +74,10 @@ def rpq_reachable(
     frontier = deque((source, q) for q in start_states)
     seen: Set[Tuple[Any, int]] = set(frontier)
     out: Set[Any] = set()
+    expanded = 0
     while frontier:
         node, state = frontier.popleft()
+        expanded += 1
         if state == nfa.accept:
             out.add(node)
         for (label, inverse), nxt in nfa.transitions.get(state, ()):
@@ -89,6 +92,8 @@ def rpq_reachable(
                 if pair not in seen:
                     seen.add(pair)
                     frontier.append(pair)
+    METRICS.inc("rpq.searches")
+    METRICS.inc("rpq.expansions", expanded)
     return out
 
 
@@ -105,8 +110,10 @@ def _rpq_reachable_dfa(
     frontier = deque([(source, dfa.start)])
     seen: Set[Tuple[Any, int]] = {(source, dfa.start)}
     out: Set[Any] = set()
+    expanded = 0
     while frontier:
         node, state = frontier.popleft()
+        expanded += 1
         if state in dfa.accepting:
             out.add(node)
         for (label, inverse), to_state in by_state.get(state, ()):
@@ -120,6 +127,8 @@ def _rpq_reachable_dfa(
                 if pair not in seen:
                     seen.add(pair)
                     frontier.append(pair)
+    METRICS.inc("rpq.searches")
+    METRICS.inc("rpq.expansions", expanded)
     return out
 
 

@@ -1,0 +1,52 @@
+"""The batch-evaluation service layer.
+
+A parallel runtime over the measure/advisor/RPQ entry points:
+
+- :mod:`repro.service.jobs` — typed job requests with canonical
+  serialization (the cache-key basis);
+- :mod:`repro.service.cache` — a content-addressed LRU result cache;
+- :mod:`repro.service.pool` — a worker pool that shards Monte-Carlo RIC
+  estimation into mergeable chunks and fans out independent jobs;
+- :mod:`repro.service.budget` — per-job wall-clock budgets with graceful
+  degradation (exact sweep → Monte Carlo) and structured timeout errors;
+- :mod:`repro.service.metrics` — the counters/timers registry the core
+  engines record into;
+- :mod:`repro.service.runner` — JSONL batch execution
+  (``python -m repro batch jobs.jsonl``).
+
+Submodules are re-exported lazily (PEP 562): the low-level engines import
+``repro.service.metrics`` directly, and an eager import of the runner here
+would cycle back through the advisor into those same engines.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "Metrics": "repro.service.metrics",
+    "METRICS": "repro.service.metrics",
+    "AdviseJob": "repro.service.jobs",
+    "MeasureJob": "repro.service.jobs",
+    "RPQJob": "repro.service.jobs",
+    "job_from_dict": "repro.service.jobs",
+    "job_key": "repro.service.jobs",
+    "ResultCache": "repro.service.cache",
+    "WorkerPool": "repro.service.pool",
+    "ric_montecarlo_parallel": "repro.service.pool",
+    "Budget": "repro.service.budget",
+    "BudgetExceeded": "repro.service.budget",
+    "drain_abandoned": "repro.service.budget",
+    "measure_ric_with_budget": "repro.service.budget",
+    "BatchRunner": "repro.service.runner",
+    "run_batch": "repro.service.runner",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)

@@ -1,0 +1,202 @@
+"""Per-job budgets: wall-clock limits, graceful degradation, typed errors.
+
+The exact ``RIC`` sweep is ``Θ(2^(n−1))`` in the number of positions, so
+an unguarded service would hang on the first oversized request.  A
+:class:`Budget` bounds each job two ways:
+
+- **size** — instances with more than ``exact_max_positions`` positions
+  never enter the exact sweep; they degrade straight to Monte Carlo;
+- **time** — each ladder stage runs under the remaining wall-clock
+  allowance; a stage that exceeds it is abandoned and the next stage
+  gets what is left.  When the ladder is exhausted the job fails with a
+  structured :class:`BudgetExceeded` carrying the stage history — never
+  a hang, never a bare ``TimeoutError``.
+
+The ladder for ``RIC`` is ``exact → montecarlo`` (the exact stage *is*
+the symbolic per-world engine swept over all revealed sets; Monte Carlo
+keeps the symbolic per-world limits and samples the sweep).  Stage
+timeouts are enforced by running the stage on a sacrificial thread and
+abandoning it on expiry — the orphaned thread finishes its computation
+and is discarded, which is the strongest guarantee available without
+process isolation (CPython offers no safe preemptive kill).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from concurrent.futures import TimeoutError as FuturesTimeout
+from dataclasses import dataclass
+from fractions import Fraction
+from time import perf_counter
+from typing import List, Optional, Tuple, Union
+
+from repro.core.measure import ric
+from repro.core.montecarlo import MCEstimate
+from repro.core.positions import Position, PositionedInstance
+from repro.service.metrics import METRICS
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Resource limits applied to a single job.
+
+    ``wall_seconds=None`` disables the clock (size limits still apply);
+    ``exact_max_positions`` mirrors the engine's own sweep guard and is
+    the exact→Monte-Carlo degradation threshold; ``samples``/``seed``
+    parameterize the fallback estimator.
+    """
+
+    wall_seconds: Optional[float] = None
+    exact_max_positions: int = 18
+    samples: int = 200
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.wall_seconds is not None and self.wall_seconds <= 0:
+            raise ValueError("wall_seconds must be positive (or None)")
+        if self.samples <= 0:
+            raise ValueError("samples must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "exact_max_positions": self.exact_max_positions,
+            "samples": self.samples,
+            "seed": self.seed,
+        }
+
+
+class BudgetExceeded(RuntimeError):
+    """Every ladder stage was skipped or timed out.
+
+    Structured: ``stages`` lists ``(stage, outcome)`` pairs in attempt
+    order (outcomes: ``"skipped:size"``, ``"timeout"``), ``elapsed`` is
+    the wall-clock spent, ``budget`` the limits that were in force.
+    """
+
+    def __init__(
+        self,
+        stages: List[Tuple[str, str]],
+        elapsed: float,
+        budget: Budget,
+    ):
+        self.stages = list(stages)
+        self.elapsed = elapsed
+        self.budget = budget
+        detail = ", ".join(f"{stage}={outcome}" for stage, outcome in stages)
+        super().__init__(
+            f"budget exhausted after {elapsed:.3f}s ({detail}; "
+            f"wall_seconds={budget.wall_seconds})"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe error payload for batch results."""
+        return {
+            "error": "budget_exceeded",
+            "stages": [list(pair) for pair in self.stages],
+            "elapsed": self.elapsed,
+            "budget": self.budget.to_dict(),
+        }
+
+
+def _run_stage(fn, timeout: Optional[float]):
+    """Run *fn* under *timeout* seconds; raise FuturesTimeout on expiry.
+
+    The stage runs on a dedicated **daemon** thread so expiry returns
+    control immediately and the abandoned stage can never pin process
+    exit (``concurrent.futures`` workers are non-daemon and joined at
+    interpreter shutdown, which would turn a timed-out job into a hang
+    at exit — exactly what budgets exist to prevent).
+    """
+    if timeout is None:
+        return fn()
+    outcome: dict = {}
+
+    def target() -> None:
+        try:
+            outcome["value"] = fn()
+        except BaseException as exc:  # noqa: BLE001 — relayed to the caller
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=target, name="repro-budget", daemon=True)
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        _ABANDONED.add(thread)
+        raise FuturesTimeout()
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["value"]
+
+
+#: Stage threads abandoned by expired budgets (still draining).
+_ABANDONED: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def drain_abandoned(timeout: Optional[float] = None) -> int:
+    """Join abandoned stage threads; returns how many are still alive.
+
+    Abandoned stages finish on daemon threads and are normally just
+    discarded; call this for an orderly shutdown (or between tests) when
+    their residual CPU use or metric increments would interfere.
+    """
+    for thread in list(_ABANDONED):
+        thread.join(timeout)
+    return sum(1 for thread in _ABANDONED if thread.is_alive())
+
+
+def measure_ric_with_budget(
+    instance: PositionedInstance,
+    p: Position,
+    budget: Budget,
+    method: str = "auto",
+    pool=None,
+) -> Tuple[Union[Fraction, MCEstimate], str]:
+    """``RIC_I(p | Σ)`` under *budget*; returns ``(value, method_used)``.
+
+    *method* ``"auto"`` walks the full ladder; ``"exact"`` or
+    ``"montecarlo"`` pins a single stage (still time-boxed).  When *pool*
+    is a :class:`repro.service.pool.WorkerPool`, the Monte-Carlo stage
+    shards across it; the estimate is identical either way.
+    """
+    ladder = ("exact", "montecarlo") if method == "auto" else (method,)
+    attempts: List[Tuple[str, str]] = []
+    started = perf_counter()
+
+    def remaining() -> Optional[float]:
+        if budget.wall_seconds is None:
+            return None
+        left = budget.wall_seconds - (perf_counter() - started)
+        return max(left, 0.001)
+
+    for stage in ladder:
+        if stage == "exact" and len(instance.positions) > budget.exact_max_positions + 1:
+            attempts.append((stage, "skipped:size"))
+            METRICS.inc("budget.degradations")
+            continue
+        if stage == "exact":
+            run = lambda: ric(instance, p, method="exact")
+        elif stage == "montecarlo":
+            if pool is not None:
+                run = lambda: pool.ric_montecarlo(
+                    instance, p, samples=budget.samples, seed=budget.seed
+                )
+            else:
+                run = lambda: ric(
+                    instance,
+                    p,
+                    method="montecarlo",
+                    samples=budget.samples,
+                    seed=budget.seed,
+                )
+        else:
+            raise ValueError(f"unknown ladder stage {stage!r}")
+        try:
+            value = _run_stage(run, remaining())
+            return value, stage
+        except FuturesTimeout:
+            attempts.append((stage, "timeout"))
+            METRICS.inc("budget.timeouts")
+
+    raise BudgetExceeded(attempts, perf_counter() - started, budget)

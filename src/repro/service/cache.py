@@ -1,0 +1,106 @@
+"""A content-addressed LRU result cache for the batch runtime.
+
+Keys are :func:`repro.service.jobs.job_key` digests — SHA-256 over the
+job's canonical payload — so semantically identical requests (attribute
+order, dependency order, row order all normalized away) share one entry.
+Values are the runner's JSON-safe result dicts, which makes the cache
+trivially persistable: :meth:`ResultCache.save` / :meth:`ResultCache.load`
+round-trip through a plain JSON file so a later ``batch`` process can
+start warm.
+
+Eviction is LRU over a bounded entry count; hits refresh recency.  All
+operations take the internal lock, so one cache can back a thread pool.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Any, Optional
+
+_MISSING = object()
+
+
+class ResultCache:
+    """A bounded LRU mapping ``job_key -> result dict`` with hit/miss stats."""
+
+    def __init__(self, maxsize: int = 1024):
+        if maxsize <= 0:
+            raise ValueError("cache maxsize must be positive")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """The cached value for *key* (recency-refreshing), else *default*."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert or refresh *key*; evicts the least recent beyond maxsize."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counters plus the current hit rate."""
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "entries": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": (self._hits / lookups) if lookups else 0.0,
+            }
+
+    def reset_stats(self) -> None:
+        """Zero the counters without touching the entries."""
+        with self._lock:
+            self._hits = self._misses = self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # persistence (JSON, because values are JSON-safe result dicts)
+    # ------------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Write the entries (in recency order) to a JSON file."""
+        with self._lock:
+            payload = {
+                "maxsize": self.maxsize,
+                "entries": list(self._entries.items()),
+            }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path: str, maxsize: Optional[int] = None) -> "ResultCache":
+        """Rebuild a cache from :meth:`save` output (stats start at zero)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        cache = cls(maxsize=maxsize or payload.get("maxsize", 1024))
+        for key, value in payload.get("entries", []):
+            cache.put(key, value)
+        return cache

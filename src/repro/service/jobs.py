@@ -1,0 +1,251 @@
+"""Typed job requests for the batch runtime, with canonical serialization.
+
+Three job kinds cover the library's entry points:
+
+- :class:`AdviseJob` — ``repro.advisor.advise`` over a design string;
+- :class:`MeasureJob` — ``RIC`` of one position of a concrete instance;
+- :class:`RPQJob` — regular path query evaluation over an edge list.
+
+Each job knows its **canonical payload**: a JSON-safe dict in which every
+order-insensitive component (attribute order in the schema text,
+dependency order, row order, edge order) has been normalized, so that two
+textually different but semantically identical requests hash to the same
+:func:`job_key`.  The content-addressed cache is keyed on exactly this
+hash, which is why Monte-Carlo jobs carry ``(samples, seed)`` in their
+payload — the deterministic estimator makes the cached value a pure
+function of the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.relational.parser import parse_design
+
+#: Methods accepted by measure-style jobs.
+MEASURE_METHODS = ("exact", "montecarlo", "auto")
+
+
+class JobError(ValueError):
+    """A malformed job request (bad kind, missing field, bad value)."""
+
+
+def _canonical_design(design: str) -> Tuple[str, Tuple[str, ...]]:
+    """Normalize a design string: sorted-attribute schema text plus the
+    sorted dependency strings (parse-validated)."""
+    schema, deps = parse_design(design)
+    return str(schema), tuple(sorted(str(d) for d in deps))
+
+
+@dataclass(frozen=True)
+class AdviseJob:
+    """Run the schema advisor over *design* notation text."""
+
+    design: str
+    measure: bool = True
+    method: str = "exact"
+    samples: int = 200
+    seed: int = 0
+    id: Optional[str] = None
+
+    def __post_init__(self):
+        if self.method not in ("exact", "montecarlo"):
+            raise JobError(f"advise method must be exact|montecarlo, "
+                           f"got {self.method!r}")
+        if self.samples <= 0:
+            raise JobError("samples must be positive")
+
+    @property
+    def kind(self) -> str:
+        return "advise"
+
+    def canonical(self) -> dict:
+        schema, deps = _canonical_design(self.design)
+        payload = {
+            "kind": self.kind,
+            "schema": schema,
+            "deps": list(deps),
+            "measure": self.measure,
+            "method": self.method,
+        }
+        if self.measure and self.method == "montecarlo":
+            payload["samples"] = self.samples
+            payload["seed"] = self.seed
+        return payload
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "design": self.design,
+            "measure": self.measure,
+            "method": self.method,
+            "samples": self.samples,
+            "seed": self.seed,
+            **({"id": self.id} if self.id is not None else {}),
+        }
+
+
+@dataclass(frozen=True)
+class MeasureJob:
+    """Measure ``RIC`` of one position of a concrete instance.
+
+    *design* gives the schema and Σ (``"R(A,B,C); B->C"``); *rows* the
+    instance tuples in the schema's **sorted** attribute order; *position*
+    a ``(row_index, attribute)`` pair over the canonical (sorted-row)
+    positioning.  *method* ``"auto"`` lets the budget ladder pick
+    exact-vs-Monte-Carlo at run time.
+    """
+
+    design: str
+    rows: Tuple[Tuple[Any, ...], ...]
+    position: Tuple[int, str]
+    method: str = "exact"
+    samples: int = 200
+    seed: int = 0
+    id: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "rows", tuple(tuple(row) for row in self.rows)
+        )
+        object.__setattr__(
+            self, "position", (int(self.position[0]), str(self.position[1]))
+        )
+        if self.method not in MEASURE_METHODS:
+            raise JobError(
+                f"measure method must be one of {MEASURE_METHODS}, "
+                f"got {self.method!r}"
+            )
+        if self.samples <= 0:
+            raise JobError("samples must be positive")
+        if not self.rows:
+            raise JobError("measure job needs at least one row")
+
+    @property
+    def kind(self) -> str:
+        return "measure"
+
+    def canonical(self) -> dict:
+        schema, deps = _canonical_design(self.design)
+        payload = {
+            "kind": self.kind,
+            "schema": schema,
+            "deps": list(deps),
+            # Relations are sets: row order is not meaningful, and the
+            # canonical positioning sorts rows anyway.
+            "rows": sorted([list(r) for r in self.rows], key=repr),
+            "position": list(self.position),
+            "method": self.method,
+        }
+        if self.method != "exact":
+            payload["samples"] = self.samples
+            payload["seed"] = self.seed
+        return payload
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "design": self.design,
+            "rows": [list(r) for r in self.rows],
+            "position": list(self.position),
+            "method": self.method,
+            "samples": self.samples,
+            "seed": self.seed,
+            **({"id": self.id} if self.id is not None else {}),
+        }
+
+
+@dataclass(frozen=True)
+class RPQJob:
+    """Evaluate a regular path query over an edge-list graph.
+
+    *edges* are ``(source, label, target)`` triples; *source* (optional)
+    restricts the answer to pairs starting there.
+    """
+
+    edges: Tuple[Tuple[Any, str, Any], ...]
+    query: str
+    source: Optional[Any] = None
+    id: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "edges", tuple(tuple(e) for e in self.edges)
+        )
+        for edge in self.edges:
+            if len(edge) != 3:
+                raise JobError(f"edge must be (source, label, target): {edge!r}")
+        if not self.query:
+            raise JobError("rpq job needs a query")
+
+    @property
+    def kind(self) -> str:
+        return "rpq"
+
+    def canonical(self) -> dict:
+        return {
+            "kind": self.kind,
+            "edges": sorted([list(e) for e in self.edges], key=repr),
+            "query": self.query,
+            "source": self.source,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "edges": [list(e) for e in self.edges],
+            "query": self.query,
+            **({"source": self.source} if self.source is not None else {}),
+            **({"id": self.id} if self.id is not None else {}),
+        }
+
+
+Job = Any  # AdviseJob | MeasureJob | RPQJob (3.10-friendly alias)
+
+_KINDS = {"advise": AdviseJob, "measure": MeasureJob, "rpq": RPQJob}
+
+
+def job_key(job: Job) -> str:
+    """The content address of *job*: SHA-256 of its canonical payload."""
+    blob = json.dumps(
+        job.canonical(), sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def job_from_dict(data: dict) -> Job:
+    """Build a job from a decoded JSONL record (``kind`` selects the type)."""
+    if not isinstance(data, dict):
+        raise JobError(f"job record must be an object, got {type(data).__name__}")
+    kind = data.get("kind")
+    cls = _KINDS.get(kind)
+    if cls is None:
+        raise JobError(
+            f"unknown job kind {kind!r} (expected one of {sorted(_KINDS)})"
+        )
+    fields = {k: v for k, v in data.items() if k != "kind"}
+    try:
+        return cls(**fields)
+    except TypeError as exc:
+        raise JobError(f"bad {kind} job: {exc}") from None
+
+
+def parse_jsonl(text: str):
+    """Parse a JSONL job file into a job list (line numbers in errors)."""
+    jobs = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise JobError(f"line {lineno}: invalid JSON ({exc})") from None
+        try:
+            jobs.append(job_from_dict(record))
+        except JobError as exc:
+            raise JobError(f"line {lineno}: {exc}") from None
+    return jobs

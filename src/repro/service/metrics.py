@@ -1,0 +1,89 @@
+"""A lightweight counters/timers registry for the service layer.
+
+This module deliberately imports **nothing** from the rest of ``repro`` so
+that low-level engines (the chase loop, the symbolic sweep, the RPQ
+product search) can record into the default registry without creating
+import cycles.  Hot loops batch their increments — one ``inc`` per run
+with the loop's total, never one per iteration — so instrumentation cost
+stays unmeasurable.
+
+Usage::
+
+    from repro.service.metrics import METRICS
+
+    METRICS.inc("chase.steps", steps)
+    with METRICS.timer("job.advise"):
+        ...
+    METRICS.snapshot()
+    # {"counters": {"chase.steps": 12, ...},
+    #  "timers": {"job.advise": {"count": 1, "seconds": 0.003}}}
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class Metrics:
+    """A named registry of monotonically increasing counters and timers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._timer_counts: Dict[str, int] = {}
+        self._timer_seconds: Dict[str, float] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to counter *name* (created at zero on first use)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter *name* (zero if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one timed observation for timer *name*."""
+        with self._lock:
+            self._timer_counts[name] = self._timer_counts.get(name, 0) + 1
+            self._timer_seconds[name] = (
+                self._timer_seconds.get(name, 0.0) + seconds
+            )
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Context manager recording the wall-clock time of its block."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy of every counter and timer (JSON-safe)."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "timers": {
+                    name: {
+                        "count": self._timer_counts[name],
+                        "seconds": self._timer_seconds[name],
+                    }
+                    for name in sorted(self._timer_counts)
+                },
+            }
+
+    def reset(self) -> None:
+        """Zero every counter and timer (tests and fresh batch runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._timer_counts.clear()
+            self._timer_seconds.clear()
+
+
+#: The process-wide default registry; the engines record into this one.
+METRICS = Metrics()

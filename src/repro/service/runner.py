@@ -1,0 +1,322 @@
+"""JSONL batch execution through the pool and the result cache.
+
+The runner takes a job list (usually parsed from a JSONL file, one job
+object per line — see :mod:`repro.service.jobs`), consults the
+content-addressed cache for each, and executes the misses:
+
+- Monte-Carlo and ``auto`` measure jobs run on the main thread with
+  their **sample range sharded across the pool** (the intra-job axis);
+- every other job fans out to the pool as an independent future (the
+  inter-job axis).
+
+Keeping the two axes on disjoint scheduling paths makes the design
+deadlock-free: a sharded job never waits on pool slots held by other
+sharded jobs.  Results come back in input order as JSON-safe dicts with
+per-job timing and the cache key, followed by the cache stats and a
+:func:`repro.service.metrics.Metrics.snapshot` of the engines' counters.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from time import perf_counter
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.advisor import DesignReport, advise
+from repro.core.montecarlo import MCEstimate
+from repro.core.positions import PositionedInstance
+from repro.graph.graphdb import GraphDB
+from repro.graph.rpq import rpq_eval, rpq_reachable
+from repro.relational.attributes import fmt_attrs
+from repro.relational.parser import parse_design
+from repro.relational.relation import Relation
+from repro.service.budget import Budget, BudgetExceeded, measure_ric_with_budget
+from repro.service.cache import ResultCache
+from repro.service.jobs import (
+    AdviseJob,
+    Job,
+    MeasureJob,
+    RPQJob,
+    job_key,
+    parse_jsonl,
+)
+from repro.service.metrics import METRICS, Metrics
+from repro.service.pool import WorkerPool
+
+
+def ric_payload(value) -> dict:
+    """JSON-safe rendering of an exact or estimated ``RIC`` value."""
+    if isinstance(value, MCEstimate):
+        low, high = value.ci95()
+        return {
+            "kind": "montecarlo",
+            "mean": value.mean,
+            "stderr": value.stderr,
+            "samples": value.samples,
+            "ci95": [low, high],
+            "value": value.mean,
+        }
+    if isinstance(value, Fraction):
+        return {
+            "kind": "exact",
+            "fraction": str(value),
+            "value": float(value),
+        }
+    return {"kind": "float", "value": float(value)}
+
+
+def report_payload(report: DesignReport) -> dict:
+    """JSON-safe rendering of a :class:`~repro.advisor.DesignReport`."""
+    return {
+        "schema": str(report.schema),
+        "fds": [str(fd) for fd in report.fds],
+        "mvds": [str(mvd) for mvd in report.mvds],
+        "minimal_cover": [str(fd) for fd in report.minimal_cover],
+        "keys": [fmt_attrs(key) for key in report.keys],
+        "normal_forms": {
+            "2nf": report.in_2nf,
+            "3nf": report.in_3nf,
+            "bcnf": report.in_bcnf,
+            "4nf": report.in_4nf,
+        },
+        "well_designed": report.well_designed,
+        "witness": (
+            None
+            if report.witness_position is None
+            else {
+                "position": report.witness_position,
+                "ric": (
+                    None
+                    if report.witness_ric is None
+                    else ric_payload(report.witness_ric)
+                ),
+            }
+        ),
+        "repairs": [
+            {
+                "method": repair.method,
+                "fragments": [str(f) for f in repair.fragments],
+                "lossless": repair.lossless,
+                "dependency_preserving": repair.dependency_preserving,
+            }
+            for repair in report.repairs
+        ],
+        "summary": report.summary(),
+    }
+
+
+class BatchRunner:
+    """Execute job batches through one pool, cache, and budget."""
+
+    def __init__(
+        self,
+        pool: Optional[WorkerPool] = None,
+        cache: Optional[ResultCache] = None,
+        budget: Optional[Budget] = None,
+        metrics: Metrics = METRICS,
+    ):
+        self._owns_pool = pool is None
+        self.pool = pool or WorkerPool(workers=4)
+        self.cache = cache if cache is not None else ResultCache()
+        self.budget = budget or Budget()
+        self.metrics = metrics
+
+    # ------------------------------------------------------------------
+    # single-job execution (cache-oblivious)
+    # ------------------------------------------------------------------
+
+    def execute(self, job: Job) -> dict:
+        """Run one job and return its JSON-safe value dict."""
+        if isinstance(job, AdviseJob):
+            return self._execute_advise(job)
+        if isinstance(job, MeasureJob):
+            return self._execute_measure(job)
+        if isinstance(job, RPQJob):
+            return self._execute_rpq(job)
+        raise TypeError(f"unsupported job: {job!r}")
+
+    def _execute_advise(self, job: AdviseJob) -> dict:
+        with self.metrics.timer("job.advise"):
+            report = advise(
+                job.design,
+                measure_witness=job.measure,
+                method=job.method,
+                samples=job.samples,
+                seed=job.seed,
+            )
+        return report_payload(report)
+
+    def _measure_instance(self, job: MeasureJob) -> tuple:
+        schema, deps = parse_design(job.design)
+        instance = PositionedInstance.from_relation(
+            Relation(schema, job.rows), deps
+        )
+        row, attribute = job.position
+        return instance, instance.position(schema.name, row, attribute)
+
+    def _execute_measure(self, job: MeasureJob) -> dict:
+        instance, position = self._measure_instance(job)
+        budget = Budget(
+            wall_seconds=self.budget.wall_seconds,
+            exact_max_positions=self.budget.exact_max_positions,
+            samples=job.samples,
+            seed=job.seed,
+        )
+        with self.metrics.timer("job.measure"):
+            value, method_used = measure_ric_with_budget(
+                instance,
+                position,
+                budget,
+                method=job.method,
+                pool=self.pool,
+            )
+        payload = ric_payload(value)
+        payload["method"] = method_used
+        payload["position"] = str(position)
+        return payload
+
+    def _execute_rpq(self, job: RPQJob) -> dict:
+        graph = GraphDB.from_edges(job.edges)
+        with self.metrics.timer("job.rpq"):
+            if job.source is not None:
+                nodes = rpq_reachable(graph, job.query, job.source)
+                return {
+                    "source": job.source,
+                    "reachable": sorted(nodes, key=repr),
+                    "count": len(nodes),
+                }
+            pairs = rpq_eval(graph, job.query)
+            return {
+                "pairs": [list(pair) for pair in sorted(pairs, key=repr)],
+                "count": len(pairs),
+            }
+
+    # ------------------------------------------------------------------
+    # batch execution (cache + fan-out)
+    # ------------------------------------------------------------------
+
+    def run(self, jobs: Sequence[Job]) -> dict:
+        """Run *jobs*, returning the full batch report dict."""
+        batch_start = perf_counter()
+        results: List[Optional[dict]] = [None] * len(jobs)
+        sharded: List[Tuple[int, Job, str]] = []
+        fanout: List[Tuple[int, Job, str]] = []
+
+        for index, job in enumerate(jobs):
+            key = job_key(job)
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.metrics.inc("runner.cache_hits")
+                results[index] = self._entry(
+                    job, key, ok=True, value=cached, seconds=0.0, cached=True
+                )
+            elif isinstance(job, MeasureJob) and job.method in (
+                "montecarlo",
+                "auto",
+            ):
+                sharded.append((index, job, key))
+            else:
+                fanout.append((index, job, key))
+
+        futures = [
+            (index, job, key, self.pool.executor.submit(self._timed, job))
+            for index, job, key in fanout
+        ]
+        for index, job, key in sharded:
+            results[index] = self._complete(job, key, *self._run_timed(job))
+        for index, job, key, future in futures:
+            results[index] = self._complete(job, key, *future.result())
+
+        ok = sum(1 for entry in results if entry and entry["ok"])
+        return {
+            "jobs": len(jobs),
+            "ok": ok,
+            "failed": len(jobs) - ok,
+            "elapsed_seconds": perf_counter() - batch_start,
+            "results": results,
+            "cache": self.cache.stats(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def _timed(self, job: Job):
+        return self._run_timed(job)
+
+    def _run_timed(self, job: Job):
+        """Execute one job, capturing (value|None, error|None, seconds)."""
+        start = perf_counter()
+        try:
+            value = self.execute(job)
+            return value, None, perf_counter() - start
+        except BudgetExceeded as exc:
+            return None, exc.to_dict(), perf_counter() - start
+        except Exception as exc:  # noqa: BLE001 — jobs must not kill the batch
+            error = {"error": type(exc).__name__, "message": str(exc)}
+            return None, error, perf_counter() - start
+
+    def _complete(self, job: Job, key: str, value, error, seconds) -> dict:
+        if error is None:
+            self.cache.put(key, value)
+            return self._entry(
+                job, key, ok=True, value=value, seconds=seconds, cached=False
+            )
+        self.metrics.inc("runner.job_errors")
+        return self._entry(
+            job, key, ok=False, error=error, seconds=seconds, cached=False
+        )
+
+    @staticmethod
+    def _entry(
+        job: Job,
+        key: str,
+        ok: bool,
+        seconds: float,
+        cached: bool,
+        value: Any = None,
+        error: Any = None,
+    ) -> dict:
+        entry = {
+            "id": job.id,
+            "kind": job.kind,
+            "key": key,
+            "ok": ok,
+            "cached": cached,
+            "seconds": seconds,
+        }
+        if ok:
+            entry["value"] = value
+        else:
+            entry["error"] = error
+        return entry
+
+    def shutdown(self) -> None:
+        """Release the pool if this runner created it."""
+        if self._owns_pool:
+            self.pool.shutdown()
+
+
+def run_batch(
+    path: str,
+    workers: int = 4,
+    cache: Optional[ResultCache] = None,
+    budget: Optional[Budget] = None,
+    metrics: Metrics = METRICS,
+) -> dict:
+    """Execute the JSONL job file at *path* and return the batch report."""
+    with open(path, "r", encoding="utf-8") as handle:
+        jobs = parse_jsonl(handle.read())
+    runner = BatchRunner(
+        pool=WorkerPool(workers=workers),
+        cache=cache,
+        budget=budget,
+        metrics=metrics,
+    )
+    try:
+        return runner.run(jobs)
+    finally:
+        runner.pool.shutdown()
+
+
+def format_report(report: dict, indent: int = 2) -> str:
+    """Pretty-print a batch report as JSON text."""
+    return json.dumps(report, indent=indent, sort_keys=False, default=str)

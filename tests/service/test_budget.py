@@ -1,0 +1,95 @@
+"""Budgets: degradation ladder, wall-clock timeouts, structured errors."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import PositionedInstance
+from repro.core.montecarlo import MCEstimate
+from repro.dependencies import FD
+from repro.relational import Relation, RelationSchema
+from repro.service.budget import (
+    Budget,
+    BudgetExceeded,
+    drain_abandoned,
+    measure_ric_with_budget,
+)
+
+
+def instance_with_rows(n_rows: int) -> PositionedInstance:
+    schema = RelationSchema("R", ("A", "B", "C"))
+    rows = [(i, 2, 3) if i < 2 else (i, 20 + i, 30 + i) for i in range(n_rows)]
+    return PositionedInstance.from_relation(
+        Relation(schema, rows), [FD("B", "C")]
+    )
+
+
+class TestLadder:
+    def test_small_instance_stays_exact(self):
+        inst = instance_with_rows(2)
+        p = inst.position("R", 0, "C")
+        value, method = measure_ric_with_budget(inst, p, Budget())
+        assert method == "exact"
+        assert value == Fraction(7, 8)
+
+    def test_oversized_instance_degrades_to_montecarlo(self):
+        inst = instance_with_rows(3)  # 9 positions > 4-position allowance
+        p = inst.position("R", 0, "C")
+        budget = Budget(exact_max_positions=4, samples=60, seed=2)
+        value, method = measure_ric_with_budget(inst, p, budget)
+        assert method == "montecarlo"
+        assert isinstance(value, MCEstimate)
+        assert value.samples == 60
+
+    def test_pinned_method_skips_the_ladder(self):
+        inst = instance_with_rows(2)
+        p = inst.position("R", 0, "C")
+        value, method = measure_ric_with_budget(
+            inst, p, Budget(samples=40), method="montecarlo"
+        )
+        assert method == "montecarlo"
+        assert isinstance(value, MCEstimate)
+
+    def test_degraded_estimate_is_deterministic(self):
+        inst = instance_with_rows(3)
+        p = inst.position("R", 0, "C")
+        budget = Budget(exact_max_positions=4, samples=50, seed=9)
+        first, _ = measure_ric_with_budget(inst, p, budget)
+        second, _ = measure_ric_with_budget(inst, p, budget)
+        assert first == second
+
+
+class TestTimeout:
+    def test_exhausted_ladder_raises_structured_error(self):
+        inst = instance_with_rows(6)  # exact skipped by size
+        p = inst.position("R", 0, "C")
+        # A sample count worth seconds of work under a 50 ms clock: the
+        # Monte-Carlo stage cannot finish, so the ladder exhausts.  (The
+        # abandoned stage runs on a daemon thread and drains shortly.)
+        budget = Budget(
+            wall_seconds=0.05, exact_max_positions=4, samples=2_000
+        )
+        with pytest.raises(BudgetExceeded) as excinfo:
+            measure_ric_with_budget(inst, p, budget)
+        err = excinfo.value
+        assert ("exact", "skipped:size") in err.stages
+        assert ("montecarlo", "timeout") in err.stages
+        assert err.elapsed > 0
+        payload = err.to_dict()
+        assert payload["error"] == "budget_exceeded"
+        assert payload["budget"]["wall_seconds"] == 0.05
+        # Let the abandoned stage finish so its residual metric
+        # increments cannot bleed into later tests.
+        assert drain_abandoned() == 0
+
+    def test_no_wall_clock_means_no_timeout(self):
+        inst = instance_with_rows(2)
+        p = inst.position("R", 0, "C")
+        value, _ = measure_ric_with_budget(inst, p, Budget(wall_seconds=None))
+        assert value == Fraction(7, 8)
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            Budget(wall_seconds=0)
+        with pytest.raises(ValueError):
+            Budget(samples=0)

@@ -1,0 +1,77 @@
+"""The metrics registry and its wiring into the engines."""
+
+from repro.chase.engine import chase
+from repro.core import PositionedInstance, ric_exact, ric_montecarlo
+from repro.dependencies import FD
+from repro.dependencies.mvd import MVD
+from repro.graph.graphdb import GraphDB
+from repro.graph.rpq import rpq_reachable
+from repro.relational import Relation, RelationSchema
+from repro.service.metrics import METRICS, Metrics
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        metrics = Metrics()
+        metrics.inc("x")
+        metrics.inc("x", 4)
+        assert metrics.get("x") == 5
+        assert metrics.get("never") == 0
+
+    def test_timer_records_count_and_seconds(self):
+        metrics = Metrics()
+        with metrics.timer("t"):
+            pass
+        with metrics.timer("t"):
+            pass
+        snap = metrics.snapshot()["timers"]["t"]
+        assert snap["count"] == 2
+        assert snap["seconds"] >= 0
+
+    def test_snapshot_and_reset(self):
+        metrics = Metrics()
+        metrics.inc("a", 2)
+        assert metrics.snapshot()["counters"] == {"a": 2}
+        metrics.reset()
+        assert metrics.snapshot() == {"counters": {}, "timers": {}}
+
+
+class TestEngineWiring:
+    def test_chase_records_steps(self):
+        METRICS.reset()
+        schema = RelationSchema("R", ("A", "B", "C"))
+        result = chase(
+            Relation(schema, [(1, 2, 3), (1, 5, 6)]), [MVD("A", "B")]
+        )
+        assert result.consistent and result.steps >= 1
+        assert METRICS.get("chase.runs") == 1
+        assert METRICS.get("chase.steps") == result.steps
+
+    def test_ric_sweep_records_worlds(self):
+        METRICS.reset()
+        schema = RelationSchema("R", ("A", "B"))
+        inst = PositionedInstance.from_relation(
+            Relation(schema, [(1, 2), (3, 2)]), [FD("A", "B")]
+        )
+        ric_exact(inst, inst.positions[0])
+        assert METRICS.get("ric.sweeps") == 1
+        # 4 positions -> 2^3 revealed sets swept.
+        assert METRICS.get("ric.sweep.worlds") == 8
+
+    def test_montecarlo_records_samples(self):
+        METRICS.reset()
+        schema = RelationSchema("R", ("A", "B"))
+        inst = PositionedInstance.from_relation(
+            Relation(schema, [(1, 2)]), []
+        )
+        ric_montecarlo(inst, inst.positions[0], samples=17)
+        assert METRICS.get("ric.mc.samples") == 17
+
+    def test_rpq_records_expansions(self):
+        METRICS.reset()
+        graph = GraphDB.from_edges(
+            [("a", "l", "b"), ("b", "l", "c"), ("c", "l", "a")]
+        )
+        rpq_reachable(graph, "l+", "a")
+        assert METRICS.get("rpq.searches") == 1
+        assert METRICS.get("rpq.expansions") > 0
