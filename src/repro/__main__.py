@@ -118,36 +118,104 @@ def build_batch_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the JSON report here instead of stdout",
     )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="durably append completed results to this JSONL file as the "
+        "batch progresses (started fresh; see --resume to continue one)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="resume an interrupted batch from this checkpoint file: "
+        "completed jobs are skipped bit-identically, new completions "
+        "keep appending to the same file",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts per job/chunk for transient failures such as "
+        "worker crashes (default 3; backoff is deterministic)",
+    )
+    parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="KIND:RATE[:SEED]",
+        help="deterministically inject faults (testing/benchmarks), e.g. "
+        "worker_crash:0.2:7; repeatable; kinds: parse, validation, "
+        "budget, worker_crash, cache_corrupt, internal "
+        "(also via the REPRO_FAULTS environment variable)",
+    )
     return parser
 
 
 def batch_main(argv: List[str]) -> int:
     """Run the ``batch`` subcommand; returns a process exit code
-    (0 = every job succeeded, 1 = some job failed, 2 = bad input)."""
+    (0 = every job succeeded, 1 = some jobs failed — typed per-job
+    errors in the report, 2 = batch-level failure: bad input, missing
+    file, or nothing parseable)."""
+    from repro.service import checkpoint as _checkpoint
     from repro.service.budget import Budget
     from repro.service.cache import ResultCache
-    from repro.service.jobs import JobError
+    from repro.service.errors import JobError
+    from repro.service.faults import FAULTS, parse_fault_spec
+    from repro.service.retry import RetryPolicy
     from repro.service.runner import format_report, run_batch
+    from repro.service.validate import validate_batch_options
 
     args = build_batch_parser().parse_args(argv)
 
-    cache = None
-    if args.cache and os.path.exists(args.cache):
-        cache = ResultCache.load(args.cache, maxsize=args.cache_size)
-    elif args.cache:
-        cache = ResultCache(maxsize=args.cache_size)
-
     try:
+        validate_batch_options(
+            workers=args.workers,
+            timeout=args.timeout,
+            cache_size=args.cache_size,
+            retries=args.retries,
+        )
+        if args.inject_fault:
+            FAULTS.configure(
+                list(FAULTS.specs())
+                + [parse_fault_spec(spec) for spec in args.inject_fault]
+            )
+        if args.checkpoint and args.resume:
+            raise JobError(
+                "--checkpoint starts fresh and --resume continues; "
+                "pass only one",
+                kind="validation",
+            )
+
+        cache = None
+        if args.cache and os.path.exists(args.cache):
+            cache = ResultCache.load(args.cache, maxsize=args.cache_size)
+        elif args.cache:
+            cache = ResultCache(maxsize=args.cache_size)
+
+        checkpoint_path = args.resume or args.checkpoint
+        if args.checkpoint and os.path.exists(args.checkpoint):
+            _checkpoint.truncate(args.checkpoint)
+
         budget = Budget(wall_seconds=args.timeout)
         report = run_batch(
-            args.jobs, workers=args.workers, cache=cache, budget=budget
+            args.jobs,
+            workers=args.workers,
+            cache=cache,
+            budget=budget,
+            checkpoint_path=checkpoint_path,
+            resume=bool(args.resume),
+            retry=RetryPolicy(max_attempts=args.retries),
         )
     except (OSError, JobError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     if args.cache:
-        cache.save(args.cache)
+        try:
+            cache.save(args.cache)
+        except (OSError, JobError) as exc:
+            print(f"warning: cache not saved: {exc}", file=sys.stderr)
 
     text = format_report(report)
     if args.out:
@@ -167,6 +235,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return batch_main(argv[1:])
 
     args = build_parser().parse_args(argv)
+    from repro.service.validate import validate_batch_options
+
+    try:
+        validate_batch_options(samples=args.samples)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     any_redundant = False
     for design in args.designs:
         try:

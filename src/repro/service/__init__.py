@@ -12,7 +12,17 @@ A parallel runtime over the measure/advisor/RPQ entry points:
 - :mod:`repro.service.metrics` — the counters/timers registry the core
   engines record into;
 - :mod:`repro.service.runner` — JSONL batch execution
-  (``python -m repro batch jobs.jsonl``).
+  (``python -m repro batch jobs.jsonl``);
+- :mod:`repro.service.errors` — the structured error taxonomy (parse /
+  validation / budget / worker_crash / cache_corrupt / internal);
+- :mod:`repro.service.retry` — deterministic exponential backoff with a
+  per-kind retryability table;
+- :mod:`repro.service.checkpoint` — atomic JSONL checkpointing and
+  ``--resume`` support;
+- :mod:`repro.service.faults` — the deterministic fault-injection
+  harness (``REPRO_FAULTS`` / ``--inject-fault``);
+- :mod:`repro.service.validate` — shared bounds validation for CLI
+  options and service invariants.
 
 Submodules are re-exported lazily (PEP 562): the low-level engines import
 ``repro.service.metrics`` directly, and an eager import of the runner here
@@ -38,6 +48,25 @@ _EXPORTS = {
     "measure_ric_with_budget": "repro.service.budget",
     "BatchRunner": "repro.service.runner",
     "run_batch": "repro.service.runner",
+    "JobError": "repro.service.errors",
+    "ParseError": "repro.service.errors",
+    "ValidationError": "repro.service.errors",
+    "WorkerCrashError": "repro.service.errors",
+    "CacheCorruptError": "repro.service.errors",
+    "KINDS": "repro.service.errors",
+    "classify": "repro.service.errors",
+    "from_exception": "repro.service.errors",
+    "RetryPolicy": "repro.service.retry",
+    "retry_call": "repro.service.retry",
+    "Checkpoint": "repro.service.checkpoint",
+    "checkpoint_entry": "repro.service.checkpoint",
+    "FaultInjector": "repro.service.faults",
+    "FaultSpec": "repro.service.faults",
+    "FAULTS": "repro.service.faults",
+    "InjectedFault": "repro.service.faults",
+    "fault_injection": "repro.service.faults",
+    "parse_fault_specs": "repro.service.faults",
+    "validate_batch_options": "repro.service.validate",
 }
 
 __all__ = sorted(_EXPORTS)

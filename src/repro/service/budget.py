@@ -35,6 +35,11 @@ from repro.core.measure import ric
 from repro.core.montecarlo import MCEstimate
 from repro.core.positions import Position, PositionedInstance
 from repro.service.metrics import METRICS
+from repro.service.validate import (
+    MAX_SAMPLES,
+    check_positive_int,
+    check_timeout,
+)
 
 
 @dataclass(frozen=True)
@@ -53,10 +58,10 @@ class Budget:
     seed: int = 0
 
     def __post_init__(self):
-        if self.wall_seconds is not None and self.wall_seconds <= 0:
-            raise ValueError("wall_seconds must be positive (or None)")
-        if self.samples <= 0:
-            raise ValueError("samples must be positive")
+        # Shared bounds validation (raises ValidationError, a ValueError).
+        check_timeout("wall_seconds", self.wall_seconds)
+        check_positive_int("exact_max_positions", self.exact_max_positions)
+        check_positive_int("samples", self.samples, maximum=MAX_SAMPLES)
 
     def to_dict(self) -> dict:
         return {

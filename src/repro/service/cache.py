@@ -10,16 +10,51 @@ start warm.
 
 Eviction is LRU over a bounded entry count; hits refresh recency.  All
 operations take the internal lock, so one cache can back a thread pool.
+
+Persistence is hardened against the failure modes a long-running service
+actually meets:
+
+- **atomic save** — the file is written to a tempfile in the same
+  directory and ``os.replace``d into place, so a crash mid-save leaves
+  the previous cache intact, never a truncated one;
+- **per-entry checksums** — every saved entry carries a SHA-256 digest
+  of its value; entries whose digest no longer matches are skipped (and
+  counted) at load instead of resurfacing silently corrupted results;
+- **corrupt-file recovery** — a file that fails to parse (truncation,
+  garbage, injected ``cache_corrupt`` faults) is *quarantined* to
+  ``<path>.corrupt`` and the cache starts fresh: a damaged cache costs
+  recomputation, never a traceback or a wrong answer.
+
+The :data:`repro.service.faults.FAULTS` harness is consulted on every
+get/put/save/load so tests can exercise each of those paths on demand.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import logging
+import os
+import tempfile
 import threading
 from collections import OrderedDict
 from typing import Any, Optional
 
+from repro.service.errors import CacheCorruptError
+from repro.service.faults import FAULTS, InjectedFault
+from repro.service.metrics import METRICS
+
 _MISSING = object()
+
+logger = logging.getLogger(__name__)
+
+
+def entry_checksum(value: Any) -> str:
+    """The persistence checksum of a cached value (canonical JSON)."""
+    blob = json.dumps(
+        value, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
 class ResultCache:
@@ -34,9 +69,14 @@ class ResultCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        #: Set by :meth:`load` when the source file had to be quarantined.
+        self.recovered_from: Optional[str] = None
+        #: Entries dropped by :meth:`load` for failing their checksum.
+        self.corrupt_entries = 0
 
     def get(self, key: str, default: Any = None) -> Any:
         """The cached value for *key* (recency-refreshing), else *default*."""
+        FAULTS.maybe_raise("cache", key)
         with self._lock:
             value = self._entries.get(key, _MISSING)
             if value is _MISSING:
@@ -48,6 +88,7 @@ class ResultCache:
 
     def put(self, key: str, value: Any) -> None:
         """Insert or refresh *key*; evicts the least recent beyond maxsize."""
+        FAULTS.maybe_raise("cache", key)
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
@@ -86,21 +127,100 @@ class ResultCache:
     # ------------------------------------------------------------------
 
     def save(self, path: str) -> None:
-        """Write the entries (in recency order) to a JSON file."""
+        """Atomically write the entries (in recency order, checksummed).
+
+        Tempfile + ``os.replace`` in the target directory: a crash (or an
+        injected fault) mid-save leaves the previous file untouched.
+        """
+        FAULTS.maybe_raise("cache", path)
         with self._lock:
             payload = {
                 "maxsize": self.maxsize,
-                "entries": list(self._entries.items()),
+                "entries": [
+                    [key, value, entry_checksum(value)]
+                    for key, value in self._entries.items()
+                ],
             }
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(
+            prefix=".cache-", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: str, maxsize: Optional[int] = None) -> "ResultCache":
-        """Rebuild a cache from :meth:`save` output (stats start at zero)."""
-        with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
+        """Rebuild a cache from :meth:`save` output (stats start at zero).
+
+        A missing file raises ``FileNotFoundError`` (callers guard with
+        ``os.path.exists``); an *unreadable* one — truncated JSON, wrong
+        structure, injected corruption — is quarantined to
+        ``<path>.corrupt`` and an empty cache is returned.  Individual
+        entries failing their checksum are skipped and counted in
+        ``corrupt_entries``; legacy two-element entries (saved before
+        checksums existed) load unverified.
+        """
+        try:
+            FAULTS.maybe_raise("cache", path)
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict) or not isinstance(
+                payload.get("entries", []), list
+            ):
+                raise CacheCorruptError(
+                    f"cache file {path}: not a cache payload"
+                )
+        except FileNotFoundError:
+            raise
+        except (
+            json.JSONDecodeError,
+            CacheCorruptError,
+            InjectedFault,
+            UnicodeDecodeError,
+        ) as exc:
+            quarantine = path + ".corrupt"
+            os.replace(path, quarantine)
+            logger.warning(
+                "corrupt result cache %s quarantined to %s (%s); "
+                "starting fresh",
+                path,
+                quarantine,
+                exc,
+            )
+            METRICS.inc("cache.recoveries")
+            cache = cls(maxsize=maxsize or 1024)
+            cache.recovered_from = quarantine
+            return cache
+
         cache = cls(maxsize=maxsize or payload.get("maxsize", 1024))
-        for key, value in payload.get("entries", []):
+        for item in payload.get("entries", []):
+            if not isinstance(item, (list, tuple)) or len(item) not in (2, 3):
+                cache.corrupt_entries += 1
+                continue
+            if len(item) == 3:
+                key, value, checksum = item
+                if entry_checksum(value) != checksum:
+                    cache.corrupt_entries += 1
+                    continue
+            else:  # legacy pre-checksum format
+                key, value = item
             cache.put(key, value)
+        if cache.corrupt_entries:
+            logger.warning(
+                "result cache %s: dropped %d entr%s with bad checksums",
+                path,
+                cache.corrupt_entries,
+                "y" if cache.corrupt_entries == 1 else "ies",
+            )
+            METRICS.inc("cache.corrupt_entries", cache.corrupt_entries)
         return cache

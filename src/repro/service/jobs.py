@@ -21,16 +21,29 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.relational.parser import parse_design
+from repro.service.errors import JobError as _TaxonomyError
+from repro.service.errors import ValidationError
+from repro.service.faults import FAULTS
 
 #: Methods accepted by measure-style jobs.
 MEASURE_METHODS = ("exact", "montecarlo", "auto")
 
 
-class JobError(ValueError):
-    """A malformed job request (bad kind, missing field, bad value)."""
+class JobSpecError(ValidationError):
+    """A malformed job request (bad kind, missing field, bad value).
+
+    Carries the taxonomy kind ``validation`` by default; JSONL syntax
+    failures are raised with ``kind="parse"``.  Remains a ``ValueError``
+    for pre-taxonomy callers.
+    """
+
+
+#: Back-compat alias (this was the module's error class before the
+#: structured taxonomy in :mod:`repro.service.errors` existed).
+JobError = JobSpecError
 
 
 def _canonical_design(design: str) -> Tuple[str, Tuple[str, ...]]:
@@ -233,19 +246,56 @@ def job_from_dict(data: dict) -> Job:
         raise JobError(f"bad {kind} job: {exc}") from None
 
 
+def _parse_line(lineno: int, line: str) -> Job:
+    """Decode and validate one JSONL line (typed, line-numbered errors)."""
+    FAULTS.maybe_raise("parse", f"line:{lineno}")
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise JobSpecError(
+            f"line {lineno}: invalid JSON ({exc})",
+            kind="parse",
+            details={"line": lineno},
+        ) from None
+    try:
+        return job_from_dict(record)
+    except JobSpecError as exc:
+        raise JobSpecError(
+            f"line {lineno}: {exc}",
+            kind=exc.kind,
+            details={**exc.details, "line": lineno},
+        ) from None
+
+
 def parse_jsonl(text: str):
-    """Parse a JSONL job file into a job list (line numbers in errors)."""
-    jobs = []
+    """Parse a JSONL job file into a job list, failing on the first bad
+    line (line numbers in errors).  See :func:`parse_jsonl_lenient` for
+    the fault-tolerant variant the batch runner uses."""
+    return [
+        job
+        for _, job, error in parse_jsonl_lenient(text, _strict=True)
+        if error is None
+    ]
+
+
+def parse_jsonl_lenient(
+    text: str, _strict: bool = False
+) -> List[Tuple[int, Optional[Job], Optional[JobSpecError]]]:
+    """Parse a JSONL job file, reporting bad lines instead of aborting.
+
+    Returns ``(lineno, job, error)`` triples in line order — exactly one
+    of ``job``/``error`` is set per triple.  A malformed line therefore
+    costs one failed entry in the batch report, never the batch.
+    """
+    records: List[Tuple[int, Optional[Job], Optional[_TaxonomyError]]] = []
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
         try:
-            record = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise JobError(f"line {lineno}: invalid JSON ({exc})") from None
-        try:
-            jobs.append(job_from_dict(record))
-        except JobError as exc:
-            raise JobError(f"line {lineno}: {exc}") from None
-    return jobs
+            records.append((lineno, _parse_line(lineno, line), None))
+        except _TaxonomyError as exc:  # JobSpecError or an injected fault
+            if _strict:
+                raise
+            records.append((lineno, None, exc))
+    return records

@@ -87,3 +87,11 @@ class Metrics:
 
 #: The process-wide default registry; the engines record into this one.
 METRICS = Metrics()
+
+# Canonical counter names recorded by the fault-tolerance layer (the
+# modules share these constants so reports, tests, and docs agree on
+# spelling): every policy-driven re-execution, every fault the injection
+# harness fired, and every checkpoint line or compaction written.
+RETRIES = "retries"
+FAULTS_INJECTED = "faults_injected"
+CHECKPOINTS_WRITTEN = "checkpoints_written"

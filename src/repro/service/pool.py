@@ -15,11 +15,23 @@ Threads are the default executor: chunk evaluation releases no locks and
 the instances are small, so thread fan-out costs nothing to set up and is
 correct everywhere; pass ``use_processes=True`` for CPU-bound sharding on
 multi-core machines (jobs and instances are picklable by construction).
+
+Chunk execution is **fault-tolerant**: :meth:`WorkerPool.map_retrying`
+re-executes only the chunks whose futures failed with a *transient*
+taxonomy kind (``worker_crash``, ``cache_corrupt``), keeping every
+completed chunk, under the pool's :class:`~repro.service.retry.RetryPolicy`
+with deterministic backoff.  A broken executor (``BrokenProcessPool``
+after a worker SIGKILL, a shut-down thread pool) is rebuilt in place
+before the retry round.  Because chunk results are order-merged
+sufficient statistics, a recovered estimate is still bit-identical to
+the failure-free one.
 """
 
 from __future__ import annotations
 
+import time as _time
 from concurrent.futures import (
+    BrokenExecutor,
     Executor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
@@ -33,7 +45,11 @@ from repro.core.montecarlo import (
     ric_mc_chunk,
 )
 from repro.core.positions import Position, PositionedInstance
-from repro.service.metrics import METRICS
+from repro.service.errors import from_exception
+from repro.service.faults import FAULTS
+from repro.service.metrics import METRICS, RETRIES
+from repro.service.retry import RetryPolicy, token_seed
+from repro.service.validate import MAX_WORKERS, check_positive_int
 
 
 def chunk_ranges(samples: int, chunks: int) -> List[Tuple[int, int]]:
@@ -54,8 +70,14 @@ def chunk_ranges(samples: int, chunks: int) -> List[Tuple[int, int]]:
 
 
 def _eval_chunk(args) -> MCChunk:
-    """Module-level chunk worker (picklable for process pools)."""
+    """Module-level chunk worker (picklable for process pools).
+
+    The fault harness rolls per-chunk dice keyed on the chunk's stable
+    ``(seed, start, count)`` identity — never on thread scheduling — so
+    an injected crash hits the same chunk on every run.
+    """
     instance, p, start, count, seed = args
+    FAULTS.maybe_raise("chunk", f"{seed}:{start}+{count}")
     return ric_mc_chunk(instance, p, start, count, seed)
 
 
@@ -64,7 +86,8 @@ class WorkerPool:
 
     Usable as a context manager; otherwise call :meth:`shutdown` when
     done.  An externally managed ``executor`` may be injected instead
-    (the pool then never shuts it down).
+    (the pool then never shuts it down — and never rebuilds it after a
+    crash, since its lifecycle belongs to the caller).
     """
 
     def __init__(
@@ -72,23 +95,44 @@ class WorkerPool:
         workers: int = 4,
         use_processes: bool = False,
         executor: Optional[Executor] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
-        if workers <= 0:
-            raise ValueError("need at least one worker")
+        check_positive_int("workers", workers, maximum=MAX_WORKERS)
         self.workers = workers
+        self.retry = retry or RetryPolicy()
+        self._use_processes = use_processes
         self._owned = executor is None
         if executor is not None:
             self._executor = executor
-        elif use_processes:
-            self._executor = ProcessPoolExecutor(max_workers=workers)
         else:
-            self._executor = ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="repro-pool"
-            )
+            self._executor = self._new_executor()
+
+    def _new_executor(self) -> Executor:
+        if self._use_processes:
+            return ProcessPoolExecutor(max_workers=self.workers)
+        return ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-pool"
+        )
 
     @property
     def executor(self) -> Executor:
         return self._executor
+
+    def rebuild(self) -> None:
+        """Replace a broken owned executor with a fresh one.
+
+        Futures already completed keep their results; only the pending
+        work the caller chooses to resubmit runs on the new executor.
+        Injected executors are left alone (the owner decides).
+        """
+        if not self._owned:
+            return
+        try:
+            self._executor.shutdown(wait=False)
+        except Exception:  # noqa: BLE001 — a broken pool may refuse even this
+            pass
+        self._executor = self._new_executor()
+        METRICS.inc("pool.rebuilds")
 
     def map(self, fn: Callable, items: Sequence) -> list:
         """Apply *fn* to every item concurrently, preserving order.
@@ -99,6 +143,66 @@ class WorkerPool:
         futures = [self._executor.submit(fn, item) for item in items]
         return [future.result() for future in futures]
 
+    def map_retrying(
+        self,
+        fn: Callable,
+        items: Sequence,
+        tokens: Optional[Sequence[str]] = None,
+        sleep: Callable[[float], None] = _time.sleep,
+    ) -> list:
+        """Order-preserving map that re-executes transiently failed items.
+
+        Each retry round resubmits only the failed indices (completed
+        results are never recomputed), rebuilding the executor first if
+        it broke.  A non-retryable failure, or a retryable one that
+        exhausts ``retry.max_attempts``, raises its taxonomy-wrapped
+        :class:`~repro.service.errors.JobError`.
+        """
+        tokens = (
+            [str(t) for t in tokens]
+            if tokens is not None
+            else [str(i) for i in range(len(items))]
+        )
+        results: List = [None] * len(items)
+        pending = list(range(len(items)))
+        attempt = 0
+        while pending:
+            futures = {}
+            for index in pending:
+                futures[index] = self._submit_safe(fn, items[index])
+            failed: List[int] = []
+            last_error = None
+            for index, future in futures.items():
+                try:
+                    results[index] = future.result()
+                except Exception as exc:  # noqa: BLE001 — classified below
+                    error = from_exception(exc)
+                    if not self.retry.is_retryable(error.kind):
+                        raise error from exc
+                    failed.append(index)
+                    last_error = error
+            if not failed:
+                return results
+            if attempt + 1 >= self.retry.max_attempts:
+                raise last_error
+            METRICS.inc(RETRIES, len(failed))
+            METRICS.inc("pool.chunk_retries", len(failed))
+            if getattr(self._executor, "_broken", False):
+                self.rebuild()
+            sleep(self.retry.delay(attempt, seed=token_seed(tokens[failed[0]])))
+            pending = failed
+            attempt += 1
+        return results
+
+    def _submit_safe(self, fn, item):
+        """Submit, rebuilding the executor once if submission itself
+        fails on a broken/shut-down pool."""
+        try:
+            return self._executor.submit(fn, item)
+        except (BrokenExecutor, RuntimeError):
+            self.rebuild()
+            return self._executor.submit(fn, item)
+
     def ric_montecarlo(
         self,
         instance: PositionedInstance,
@@ -106,17 +210,18 @@ class WorkerPool:
         samples: int = 200,
         seed: int = 0,
     ) -> MCEstimate:
-        """Sharded, deterministic Monte-Carlo ``RIC`` (see module doc)."""
+        """Sharded, deterministic Monte-Carlo ``RIC`` (see module doc).
+
+        Chunks run through :meth:`map_retrying`, so transient worker
+        failures re-execute only the affected ranges; the merged
+        estimate is bit-identical to the failure-free serial result.
+        """
         ranges = chunk_ranges(samples, self.workers)
         METRICS.inc("pool.mc.shards", len(ranges))
-        if len(ranges) == 1:
-            start, count = ranges[0]
-            return merge_mc_chunks(
-                [ric_mc_chunk(instance, p, start, count, seed)]
-            )
-        chunks = self.map(
+        chunks = self.map_retrying(
             _eval_chunk,
             [(instance, p, start, count, seed) for start, count in ranges],
+            tokens=[f"{seed}:{start}+{count}" for start, count in ranges],
         )
         return merge_mc_chunks(chunks)
 

@@ -14,14 +14,32 @@ deadlock-free: a sharded job never waits on pool slots held by other
 sharded jobs.  Results come back in input order as JSON-safe dicts with
 per-job timing and the cache key, followed by the cache stats and a
 :func:`repro.service.metrics.Metrics.snapshot` of the engines' counters.
+
+Fault tolerance (see also :mod:`repro.service.errors`):
+
+- every job failure is a **typed** entry — a
+  :class:`~repro.service.errors.JobError` payload with its taxonomy
+  ``kind``, machine-readable code, and captured traceback — never an
+  anonymous string, and never fatal to the batch;
+- **transient** failures (``worker_crash``, ``cache_corrupt``) re-execute
+  under the runner's :class:`~repro.service.retry.RetryPolicy` with
+  deterministic backoff, both per job here and per chunk inside the pool;
+- a malformed JSONL line becomes a ``parse``/``validation`` entry with
+  its line number; the remaining lines still run;
+- with a :class:`~repro.service.checkpoint.Checkpoint`, completed results
+  are durably appended as the batch progresses and a ``--resume`` run
+  skips them bit-identically;
+- cache read/write failures degrade to a miss (recorded in metrics) —
+  a damaged cache costs recomputation, never a wrong or missing result.
 """
 
 from __future__ import annotations
 
 import json
+import time as _time
 from fractions import Fraction
 from time import perf_counter
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.advisor import DesignReport, advise
 from repro.core.montecarlo import MCEstimate
@@ -31,18 +49,22 @@ from repro.graph.rpq import rpq_eval, rpq_reachable
 from repro.relational.attributes import fmt_attrs
 from repro.relational.parser import parse_design
 from repro.relational.relation import Relation
-from repro.service.budget import Budget, BudgetExceeded, measure_ric_with_budget
+from repro.service.budget import Budget, measure_ric_with_budget
 from repro.service.cache import ResultCache
+from repro.service.checkpoint import Checkpoint
+from repro.service.errors import JobError, from_exception
+from repro.service.faults import FAULTS
 from repro.service.jobs import (
     AdviseJob,
     Job,
     MeasureJob,
     RPQJob,
     job_key,
-    parse_jsonl,
+    parse_jsonl_lenient,
 )
-from repro.service.metrics import METRICS, Metrics
+from repro.service.metrics import METRICS, RETRIES, Metrics
 from repro.service.pool import WorkerPool
+from repro.service.retry import RetryPolicy, token_seed
 
 
 def ric_payload(value) -> dict:
@@ -107,7 +129,7 @@ def report_payload(report: DesignReport) -> dict:
 
 
 class BatchRunner:
-    """Execute job batches through one pool, cache, and budget."""
+    """Execute job batches through one pool, cache, budget, and policy."""
 
     def __init__(
         self,
@@ -115,9 +137,11 @@ class BatchRunner:
         cache: Optional[ResultCache] = None,
         budget: Optional[Budget] = None,
         metrics: Metrics = METRICS,
+        retry: Optional[RetryPolicy] = None,
     ):
         self._owns_pool = pool is None
-        self.pool = pool or WorkerPool(workers=4)
+        self.retry = retry or (pool.retry if pool is not None else RetryPolicy())
+        self.pool = pool or WorkerPool(workers=4, retry=self.retry)
         self.cache = cache if cache is not None else ResultCache()
         self.budget = budget or Budget()
         self.metrics = metrics
@@ -193,24 +217,48 @@ class BatchRunner:
             }
 
     # ------------------------------------------------------------------
-    # batch execution (cache + fan-out)
+    # batch execution (cache + resume + fan-out)
     # ------------------------------------------------------------------
 
-    def run(self, jobs: Sequence[Job]) -> dict:
-        """Run *jobs*, returning the full batch report dict."""
+    def run(
+        self,
+        jobs: Sequence[Job],
+        checkpoint: Optional[Checkpoint] = None,
+        resume_map: Optional[Dict[str, dict]] = None,
+    ) -> dict:
+        """Run *jobs*, returning the full batch report dict.
+
+        With *checkpoint*, each executed result is durably appended as it
+        completes and the file is atomically compacted to input order at
+        the end.  With *resume_map* (a :meth:`Checkpoint.load` result),
+        already-completed jobs are reused without re-execution.
+        """
         batch_start = perf_counter()
+        resume_map = resume_map or {}
         results: List[Optional[dict]] = [None] * len(jobs)
         sharded: List[Tuple[int, Job, str]] = []
         fanout: List[Tuple[int, Job, str]] = []
+        resumed = 0
 
         for index, job in enumerate(jobs):
             key = job_key(job)
-            cached = self.cache.get(key)
+            cached = self._cache_get(key)
             if cached is not None:
                 self.metrics.inc("runner.cache_hits")
                 results[index] = self._entry(
                     job, key, ok=True, value=cached, seconds=0.0, cached=True
                 )
+            elif key in resume_map and resume_map[key].get("ok"):
+                # Reuse the checkpointed result verbatim (deterministic
+                # estimators make it equal to a re-execution).  The cache
+                # is deliberately NOT warmed here: intra-batch duplicates
+                # then take the same path as in an uninterrupted run, so
+                # the finalized checkpoint stays byte-identical.
+                entry = dict(resume_map[key])
+                entry.update(id=job.id, seconds=0.0, resumed=True)
+                results[index] = entry
+                self.metrics.inc("runner.checkpoint_hits")
+                resumed += 1
             elif isinstance(job, MeasureJob) and job.method in (
                 "montecarlo",
                 "auto",
@@ -220,16 +268,25 @@ class BatchRunner:
                 fanout.append((index, job, key))
 
         futures = [
-            (index, job, key, self.pool.executor.submit(self._timed, job))
+            (index, job, key, self.pool.executor.submit(self._timed, job, key))
             for index, job, key in fanout
         ]
         for index, job, key in sharded:
-            results[index] = self._complete(job, key, *self._run_timed(job))
+            results[index] = self._complete(
+                job, key, *self._run_timed(job, key), checkpoint=checkpoint
+            )
         for index, job, key, future in futures:
-            results[index] = self._complete(job, key, *future.result())
+            results[index] = self._complete(
+                job, key, *future.result(), checkpoint=checkpoint
+            )
+
+        if checkpoint is not None:
+            checkpoint.finalize(
+                entry for entry in results if entry and entry["ok"]
+            )
 
         ok = sum(1 for entry in results if entry and entry["ok"])
-        return {
+        report = {
             "jobs": len(jobs),
             "ok": ok,
             "failed": len(jobs) - ok,
@@ -238,32 +295,88 @@ class BatchRunner:
             "cache": self.cache.stats(),
             "metrics": self.metrics.snapshot(),
         }
+        if resume_map or checkpoint is not None:
+            report["resumed"] = resumed
+        return report
 
-    def _timed(self, job: Job):
-        return self._run_timed(job)
+    def _timed(self, job: Job, token: str):
+        return self._run_timed(job, token)
 
-    def _run_timed(self, job: Job):
-        """Execute one job, capturing (value|None, error|None, seconds)."""
+    def _run_timed(self, job: Job, token: str):
+        """Execute one job, capturing ``(value|None, error|None, seconds)``.
+
+        Failures are classified through the error taxonomy; transient
+        kinds re-execute under the retry policy with a deterministic
+        (token-seeded) backoff schedule.  The returned error is the
+        typed JSON payload — jobs must not kill the batch, but neither
+        may they fail anonymously.
+        """
         start = perf_counter()
-        try:
-            value = self.execute(job)
-            return value, None, perf_counter() - start
-        except BudgetExceeded as exc:
-            return None, exc.to_dict(), perf_counter() - start
-        except Exception as exc:  # noqa: BLE001 — jobs must not kill the batch
-            error = {"error": type(exc).__name__, "message": str(exc)}
-            return None, error, perf_counter() - start
+        attempt = 0
+        while True:
+            try:
+                FAULTS.maybe_raise("job", token)
+                value = self.execute(job)
+                return value, None, perf_counter() - start
+            except Exception as exc:  # noqa: BLE001 — classified below
+                error = self._classify(exc)
+                if (
+                    self.retry.is_retryable(error.kind)
+                    and attempt + 1 < self.retry.max_attempts
+                ):
+                    self.metrics.inc(RETRIES)
+                    _time.sleep(self.retry.delay(attempt, token_seed(token)))
+                    attempt += 1
+                    continue
+                self.metrics.inc(f"runner.errors.{error.kind}")
+                return None, error.to_dict(), perf_counter() - start
 
-    def _complete(self, job: Job, key: str, value, error, seconds) -> dict:
+    @staticmethod
+    def _classify(exc: BaseException) -> JobError:
+        return from_exception(exc)
+
+    def _complete(
+        self,
+        job: Job,
+        key: str,
+        value,
+        error,
+        seconds,
+        checkpoint: Optional[Checkpoint] = None,
+    ) -> dict:
         if error is None:
-            self.cache.put(key, value)
-            return self._entry(
+            self._cache_put(key, value)
+            entry = self._entry(
                 job, key, ok=True, value=value, seconds=seconds, cached=False
             )
+            if checkpoint is not None:
+                checkpoint.append(key, entry)
+            return entry
         self.metrics.inc("runner.job_errors")
         return self._entry(
             job, key, ok=False, error=error, seconds=seconds, cached=False
         )
+
+    # ------------------------------------------------------------------
+    # cache guards: a damaged cache degrades to a miss, never an abort
+    # ------------------------------------------------------------------
+
+    def _cache_get(self, key: str):
+        try:
+            return self.cache.get(key)
+        except JobError as exc:
+            if exc.kind != "cache_corrupt":
+                raise
+            self.metrics.inc("cache.read_errors")
+            return None
+
+    def _cache_put(self, key: str, value) -> None:
+        try:
+            self.cache.put(key, value)
+        except JobError as exc:
+            if exc.kind != "cache_corrupt":
+                raise
+            self.metrics.inc("cache.write_errors")
 
     @staticmethod
     def _entry(
@@ -295,26 +408,88 @@ class BatchRunner:
             self.pool.shutdown()
 
 
+def _parse_error_entry(lineno: int, error: JobError) -> dict:
+    """The failed result entry for an unparseable JSONL line."""
+    return {
+        "id": None,
+        "kind": None,
+        "line": lineno,
+        "ok": False,
+        "cached": False,
+        "seconds": 0.0,
+        "error": error.to_dict(),
+    }
+
+
 def run_batch(
     path: str,
     workers: int = 4,
     cache: Optional[ResultCache] = None,
     budget: Optional[Budget] = None,
     metrics: Metrics = METRICS,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    retry: Optional[RetryPolicy] = None,
 ) -> dict:
-    """Execute the JSONL job file at *path* and return the batch report."""
+    """Execute the JSONL job file at *path* and return the batch report.
+
+    Malformed lines become typed ``parse``/``validation`` entries (with
+    their line numbers) in the report instead of aborting the batch; a
+    file with *no* parseable job at all raises
+    :class:`~repro.service.errors.JobError` (a batch-level failure).
+
+    With *checkpoint_path*, completed results are durably appended as the
+    run progresses; *resume* additionally loads the file first and skips
+    every job already completed (bit-identically — the estimators are
+    deterministic and wall-clock fields are excluded from checkpoints).
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        jobs = parse_jsonl(handle.read())
+        records = parse_jsonl_lenient(handle.read())
+    jobs = [job for _, job, error in records if error is None]
+    parse_errors = sum(1 for _, _, error in records if error is not None)
+    if records and not jobs:
+        raise JobError(
+            f"no parseable jobs in {path} ({parse_errors} bad line"
+            f"{'s' if parse_errors != 1 else ''})",
+            kind="parse",
+            details={"path": path, "bad_lines": parse_errors},
+        )
+
+    checkpoint = (
+        Checkpoint(checkpoint_path, metrics=metrics)
+        if checkpoint_path
+        else None
+    )
+    resume_map = checkpoint.load() if (checkpoint and resume) else None
+
     runner = BatchRunner(
-        pool=WorkerPool(workers=workers),
+        pool=WorkerPool(workers=workers, retry=retry),
         cache=cache,
         budget=budget,
         metrics=metrics,
+        retry=retry,
     )
     try:
-        return runner.run(jobs)
+        report = runner.run(jobs, checkpoint=checkpoint, resume_map=resume_map)
     finally:
         runner.pool.shutdown()
+        if checkpoint is not None:
+            checkpoint.close()
+
+    if parse_errors:
+        # Interleave the bad-line entries back at their line positions.
+        merged: List[dict] = []
+        job_entries = iter(report["results"])
+        for lineno, _, error in records:
+            if error is None:
+                merged.append(next(job_entries))
+            else:
+                merged.append(_parse_error_entry(lineno, error))
+        report["results"] = merged
+        report["jobs"] = len(records)
+        report["failed"] += parse_errors
+    report["parse_errors"] = parse_errors
+    return report
 
 
 def format_report(report: dict, indent: int = 2) -> str:

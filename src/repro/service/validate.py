@@ -1,0 +1,93 @@
+"""Shared bounds validation for CLI options and service invariants.
+
+One helper, one failure type: every entry point that accepts numeric
+limits (``--workers``, ``--timeout``, ``--samples``, cache sizes,
+:class:`~repro.service.budget.Budget` invariants, retry policies) checks
+them here and raises :class:`~repro.service.errors.ValidationError` — a
+``ValueError`` subclass carrying the taxonomy kind ``validation`` — so
+no combination of CLI inputs can reach the engines and surface as an
+unhandled traceback.  The bounds are deliberately generous ceilings
+against nonsense (a million workers), not tuning advice.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.service.errors import ValidationError
+
+#: Hard ceilings: above these a value is a typo, not a configuration.
+MAX_WORKERS = 1024
+MAX_SAMPLES = 100_000_000
+MAX_CACHE_SIZE = 10_000_000
+MAX_RETRIES = 100
+
+
+def check_int(
+    name: str,
+    value,
+    minimum: Optional[int] = None,
+    maximum: Optional[int] = None,
+) -> int:
+    """*value* as an int within ``[minimum, maximum]`` (bools rejected)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValidationError(
+            f"{name} must be an integer, got {value!r}",
+            details={"option": name, "value": repr(value)},
+        )
+    if minimum is not None and value < minimum:
+        raise ValidationError(
+            f"{name} must be >= {minimum}, got {value}",
+            details={"option": name, "value": value, "minimum": minimum},
+        )
+    if maximum is not None and value > maximum:
+        raise ValidationError(
+            f"{name} must be <= {maximum}, got {value}",
+            details={"option": name, "value": value, "maximum": maximum},
+        )
+    return value
+
+
+def check_positive_int(name: str, value, maximum: Optional[int] = None) -> int:
+    return check_int(name, value, minimum=1, maximum=maximum)
+
+
+def check_timeout(name: str, value) -> Optional[float]:
+    """*value* as a positive finite float, or None (no limit)."""
+    if value is None:
+        return None
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"{name} must be a number of seconds, got {value!r}",
+            details={"option": name, "value": repr(value)},
+        ) from None
+    if not math.isfinite(value) or value <= 0:
+        raise ValidationError(
+            f"{name} must be positive and finite, got {value}",
+            details={"option": name, "value": value},
+        )
+    return value
+
+
+def validate_batch_options(
+    workers: int = 1,
+    timeout=None,
+    samples: int = 1,
+    cache_size: int = 1,
+    retries: int = 1,
+    seed: int = 0,
+) -> None:
+    """Check every numeric batch/advisor option in one place.
+
+    Raises :class:`ValidationError` on the first violation; callers map
+    it to exit code 2 (bad input) with the structured message.
+    """
+    check_positive_int("workers", workers, maximum=MAX_WORKERS)
+    check_timeout("timeout", timeout)
+    check_positive_int("samples", samples, maximum=MAX_SAMPLES)
+    check_positive_int("cache-size", cache_size, maximum=MAX_CACHE_SIZE)
+    check_positive_int("retries", retries, maximum=MAX_RETRIES)
+    check_int("seed", seed)
