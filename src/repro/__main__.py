@@ -6,6 +6,8 @@ Usage::
     python -m repro --no-measure "R(C,S,Z); CS->Z; Z->C"
     python -m repro --method montecarlo --samples 400 --seed 7 "R(A,B,C); B->C"
     python -m repro batch jobs.jsonl --workers 4 --cache cache.json
+    python -m repro batch jobs.jsonl --trace-out t.json --metrics-out m.json
+    python -m repro metrics-report --metrics m.json --trace t.json
 
 The default mode prints the :class:`repro.advisor.DesignReport` summary
 for each design argument.  ``--no-measure`` skips the witness
@@ -16,7 +18,12 @@ sweep with the deterministic sampled estimator (``--samples``,
 ``batch`` executes a JSONL job file (one job object per line — see
 :mod:`repro.service.jobs`) through the worker pool and the
 content-addressed result cache, and prints a JSON report with per-job
-timing plus cache and engine-metrics summaries.
+timing plus cache and engine-metrics summaries.  ``--trace-out`` records
+a span tree (Chrome/Perfetto format), ``--metrics-out`` /
+``--prometheus-out`` export the metrics snapshot, and ``--processes``
+shards Monte-Carlo sampling over worker processes (their counters and
+spans are merged back).  ``metrics-report`` pretty-prints those
+artifacts.
 """
 
 from __future__ import annotations
@@ -93,6 +100,13 @@ def build_batch_parser() -> argparse.ArgumentParser:
         help="worker pool size (default 4)",
     )
     parser.add_argument(
+        "--processes",
+        action="store_true",
+        help="shard Monte-Carlo sampling over worker processes instead "
+        "of threads (CPU parallelism past the GIL); engine metrics and "
+        "spans recorded in the workers are merged back into the report",
+    )
+    parser.add_argument(
         "--cache",
         metavar="PATH",
         help="persistent cache file: loaded if present, saved on exit "
@@ -149,7 +163,110 @@ def build_batch_parser() -> argparse.ArgumentParser:
         "budget, worker_crash, cache_corrupt, internal "
         "(also via the REPRO_FAULTS environment variable)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="enable span tracing and write a Chrome trace-event JSON "
+        "file here (open at chrome://tracing or ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the final metrics snapshot (counters, timers with "
+        "min/max, latency histograms with p50/p95/p99) as JSON here",
+    )
+    parser.add_argument(
+        "--prometheus-out",
+        metavar="PATH",
+        help="write the metrics snapshot in Prometheus text exposition "
+        "format here (scrape-file / textfile-collector friendly)",
+    )
     return parser
+
+
+def build_report_parser() -> argparse.ArgumentParser:
+    """The ``metrics-report`` subcommand parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro metrics-report",
+        description=(
+            "Pretty-print an observability report from batch artifacts: "
+            "top spans by self time, latency quantiles, and "
+            "retry/fault/cache tallies."
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="a metrics snapshot (--metrics-out) or full batch report "
+        "(--out) JSON file",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="a Chrome trace JSON file written by --trace-out",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="how many span rows to show (default 15)",
+    )
+    return parser
+
+
+def _spans_from_trace(document: dict) -> list:
+    """Recover span-shaped dicts from a Chrome trace document."""
+    spans = []
+    for event in document.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args", {})
+        spans.append(
+            {
+                "id": args.get("span_id"),
+                "parent": args.get("parent_id"),
+                "name": event["name"],
+                "ts": event["ts"] / 1e6,
+                "dur": event.get("dur", 0) / 1e6,
+                "pid": event.get("pid", 0),
+                "tid": event.get("tid", 0),
+                "attrs": args,
+                "events": [],
+            }
+        )
+    return spans
+
+
+def report_main(argv: List[str]) -> int:
+    """Run the ``metrics-report`` subcommand (0 = report printed,
+    2 = unreadable/invalid input or nothing to report)."""
+    import json
+
+    from repro.service.export import render_report, validate_chrome_trace
+
+    args = build_report_parser().parse_args(argv)
+    if not args.metrics and not args.trace:
+        print(
+            "error: pass --metrics PATH and/or --trace PATH",
+            file=sys.stderr,
+        )
+        return 2
+    metrics = spans = None
+    try:
+        if args.metrics:
+            with open(args.metrics, "r", encoding="utf-8") as handle:
+                metrics = json.load(handle)
+        if args.trace:
+            with open(args.trace, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            validate_chrome_trace(document)
+            spans = _spans_from_trace(document)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(metrics=metrics, spans=spans, top=args.top), end="")
+    return 0
 
 
 def batch_main(argv: List[str]) -> int:
@@ -157,17 +274,25 @@ def batch_main(argv: List[str]) -> int:
     (0 = every job succeeded, 1 = some jobs failed — typed per-job
     errors in the report, 2 = batch-level failure: bad input, missing
     file, or nothing parseable)."""
+    import json
+
     from repro.service import checkpoint as _checkpoint
     from repro.service.budget import Budget
     from repro.service.cache import ResultCache
     from repro.service.errors import JobError
+    from repro.service.export import prometheus_text, save_trace
     from repro.service.faults import FAULTS, parse_fault_spec
     from repro.service.retry import RetryPolicy
     from repro.service.runner import format_report, run_batch
+    from repro.service.trace import TRACER
     from repro.service.validate import validate_batch_options
 
     args = build_batch_parser().parse_args(argv)
 
+    tracing = bool(args.trace_out)
+    if tracing:
+        TRACER.reset()
+        TRACER.enable()
     try:
         validate_batch_options(
             workers=args.workers,
@@ -206,16 +331,34 @@ def batch_main(argv: List[str]) -> int:
             checkpoint_path=checkpoint_path,
             resume=bool(args.resume),
             retry=RetryPolicy(max_attempts=args.retries),
+            use_processes=args.processes,
         )
     except (OSError, JobError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if tracing:
+            TRACER.disable()
 
     if args.cache:
         try:
             cache.save(args.cache)
         except (OSError, JobError) as exc:
             print(f"warning: cache not saved: {exc}", file=sys.stderr)
+
+    try:
+        if tracing:
+            save_trace(args.trace_out, TRACER.drain())
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(report["metrics"], handle, indent=2, default=str)
+                handle.write("\n")
+        if args.prometheus_out:
+            with open(args.prometheus_out, "w", encoding="utf-8") as handle:
+                handle.write(prometheus_text(report["metrics"]))
+    except OSError as exc:
+        print(f"warning: observability output not saved: {exc}",
+              file=sys.stderr)
 
     text = format_report(report)
     if args.out:
@@ -233,6 +376,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "batch":
         return batch_main(argv[1:])
+    if argv and argv[0] == "metrics-report":
+        return report_main(argv[1:])
 
     args = build_parser().parse_args(argv)
     from repro.service.validate import validate_batch_options

@@ -27,6 +27,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.chase.tableau import is_var
 from repro.dependencies.fd import FD
 from repro.service.metrics import METRICS
+from repro.service.trace import TRACER
 from repro.dependencies.jd import JD
 from repro.dependencies.mvd import MVD
 from repro.relational.relation import Relation
@@ -184,30 +185,35 @@ def chase(
     rows: List[tuple] = list(relation.rows)
     subst: Dict[Any, Any] = {}
     steps = 0
-    try:
-        progressing = True
-        while progressing:
-            progressing = False
-            for dep in deps:
-                if isinstance(dep, FD):
-                    fired = _apply_fd(rows, dep, relation.schema, subst)
-                elif isinstance(dep, MVD):
-                    fired = _apply_mvd(rows, dep, relation.schema)
-                elif isinstance(dep, JD):
-                    fired = _apply_jd(rows, dep, relation.schema)
-                else:
-                    raise TypeError(f"unsupported dependency: {dep!r}")
-                if fired:
-                    steps += 1
-                    progressing = True
-                    if steps > max_steps:
-                        raise RuntimeError("chase exceeded max_steps")
-    except _Inconsistent:
+    with TRACER.span(
+        "chase.run", relation=relation.schema.name, deps=len(deps)
+    ) as span:
+        try:
+            progressing = True
+            while progressing:
+                progressing = False
+                for dep in deps:
+                    if isinstance(dep, FD):
+                        fired = _apply_fd(rows, dep, relation.schema, subst)
+                    elif isinstance(dep, MVD):
+                        fired = _apply_mvd(rows, dep, relation.schema)
+                    elif isinstance(dep, JD):
+                        fired = _apply_jd(rows, dep, relation.schema)
+                    else:
+                        raise TypeError(f"unsupported dependency: {dep!r}")
+                    if fired:
+                        steps += 1
+                        progressing = True
+                        if steps > max_steps:
+                            raise RuntimeError("chase exceeded max_steps")
+        except _Inconsistent:
+            METRICS.inc("chase.runs")
+            METRICS.inc("chase.steps", steps)
+            span.set(steps=steps, consistent=False)
+            return ChaseResult(relation, False, subst, steps)
+
         METRICS.inc("chase.runs")
         METRICS.inc("chase.steps", steps)
-        return ChaseResult(relation, False, subst, steps)
-
-    METRICS.inc("chase.runs")
-    METRICS.inc("chase.steps", steps)
-    chased = Relation(relation.schema, set(rows))
-    return ChaseResult(chased, True, subst, steps)
+        span.set(steps=steps, consistent=True)
+        chased = Relation(relation.schema, set(rows))
+        return ChaseResult(chased, True, subst, steps)

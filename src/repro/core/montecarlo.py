@@ -37,6 +37,7 @@ from repro.core.positions import Position, PositionedInstance
 from repro.core.symbolic import world_limit_ratio
 from repro.core.worlds import World
 from repro.service.metrics import METRICS
+from repro.service.trace import TRACER
 
 #: Knuth-style multiplicative mixer; decorrelates consecutive sample
 #: indices before they seed the per-sample Mersenne Twister.
@@ -106,12 +107,13 @@ def ric_mc_chunk(
     others = [q for q in instance.positions if q != p]
     total = 0.0
     total_sq = 0.0
-    for j in range(start, start + count):
-        rng = _sample_rng(seed, j)
-        revealed = frozenset(q for q in others if rng.random() < 0.5)
-        ratio = float(world_limit_ratio(World(instance, p, revealed)))
-        total += ratio
-        total_sq += ratio * ratio
+    with TRACER.span("mc.chunk", start=start, count=count, seed=seed):
+        for j in range(start, start + count):
+            rng = _sample_rng(seed, j)
+            revealed = frozenset(q for q in others if rng.random() < 0.5)
+            ratio = float(world_limit_ratio(World(instance, p, revealed)))
+            total += ratio
+            total_sq += ratio * ratio
     METRICS.inc("ric.mc.samples", count)
     METRICS.inc("ric.mc.chunks")
     return MCChunk(total=total, total_sq=total_sq, samples=count)

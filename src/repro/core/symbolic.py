@@ -28,6 +28,7 @@ from repro.core.patterns import max_fresh, pattern_counts
 from repro.core.positions import Position, PositionedInstance
 from repro.core.worlds import FRESH, World
 from repro.service.metrics import METRICS
+from repro.service.trace import TRACER
 
 
 def falling_factorial(n: int, b: int) -> int:
@@ -125,9 +126,11 @@ def inf_k_symbolic(
         )
     total = 0.0
     count = 0
-    for revealed in revealed_subsets(instance, p):
-        total += world_entropy_k(World(instance, p, revealed), k)
-        count += 1
+    with TRACER.span("ric.sweep", engine="entropy_k", positions=n) as span:
+        for revealed in revealed_subsets(instance, p):
+            total += world_entropy_k(World(instance, p, revealed), k)
+            count += 1
+        span.set(worlds=count)
     METRICS.inc("ric.sweeps")
     METRICS.inc("ric.sweep.worlds", count)
     return total / count
@@ -147,9 +150,11 @@ def ric_exact(
         )
     total = Fraction(0)
     count = 0
-    for revealed in revealed_subsets(instance, p):
-        total += world_limit_ratio(World(instance, p, revealed))
-        count += 1
+    with TRACER.span("ric.sweep", engine="exact", positions=n) as span:
+        for revealed in revealed_subsets(instance, p):
+            total += world_limit_ratio(World(instance, p, revealed))
+            count += 1
+        span.set(worlds=count)
     METRICS.inc("ric.sweeps")
     METRICS.inc("ric.sweep.worlds", count)
     return total / count

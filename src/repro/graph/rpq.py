@@ -20,6 +20,7 @@ from repro.graph.graphdb import GraphDB
 from repro.graph.nfa import EPSILON, NFA, regex_to_nfa
 from repro.graph.regex import Regex, parse_regex
 from repro.service.metrics import METRICS
+from repro.service.trace import TRACER
 
 Pair = Tuple[Any, Any]
 
@@ -70,28 +71,30 @@ def rpq_reachable(
     if use_dfa:
         return _rpq_reachable_dfa(graph, query, source)
     nfa = _as_nfa(query)
-    start_states = nfa.epsilon_closure({nfa.start})
-    frontier = deque((source, q) for q in start_states)
-    seen: Set[Tuple[Any, int]] = set(frontier)
-    out: Set[Any] = set()
-    expanded = 0
-    while frontier:
-        node, state = frontier.popleft()
-        expanded += 1
-        if state == nfa.accept:
-            out.add(node)
-        for (label, inverse), nxt in nfa.transitions.get(state, ()):
-            if (label, inverse) == EPSILON:
-                targets = [node]
-            elif inverse:
-                targets = graph.predecessors(node, label)
-            else:
-                targets = graph.successors(node, label)
-            for target in targets:
-                pair = (target, nxt)
-                if pair not in seen:
-                    seen.add(pair)
-                    frontier.append(pair)
+    with TRACER.span("rpq.search", automaton="nfa") as span:
+        start_states = nfa.epsilon_closure({nfa.start})
+        frontier = deque((source, q) for q in start_states)
+        seen: Set[Tuple[Any, int]] = set(frontier)
+        out: Set[Any] = set()
+        expanded = 0
+        while frontier:
+            node, state = frontier.popleft()
+            expanded += 1
+            if state == nfa.accept:
+                out.add(node)
+            for (label, inverse), nxt in nfa.transitions.get(state, ()):
+                if (label, inverse) == EPSILON:
+                    targets = [node]
+                elif inverse:
+                    targets = graph.predecessors(node, label)
+                else:
+                    targets = graph.successors(node, label)
+                for target in targets:
+                    pair = (target, nxt)
+                    if pair not in seen:
+                        seen.add(pair)
+                        frontier.append(pair)
+        span.set(expansions=expanded, reached=len(out))
     METRICS.inc("rpq.searches")
     METRICS.inc("rpq.expansions", expanded)
     return out
@@ -103,30 +106,32 @@ def _rpq_reachable_dfa(
     from repro.graph.nfa import nfa_to_dfa
 
     dfa = nfa_to_dfa(_as_nfa(query))
-    by_state: dict = {}
-    for (from_state, symbol), to_state in dfa.transitions.items():
-        by_state.setdefault(from_state, []).append((symbol, to_state))
+    with TRACER.span("rpq.search", automaton="dfa") as span:
+        by_state: dict = {}
+        for (from_state, symbol), to_state in dfa.transitions.items():
+            by_state.setdefault(from_state, []).append((symbol, to_state))
 
-    frontier = deque([(source, dfa.start)])
-    seen: Set[Tuple[Any, int]] = {(source, dfa.start)}
-    out: Set[Any] = set()
-    expanded = 0
-    while frontier:
-        node, state = frontier.popleft()
-        expanded += 1
-        if state in dfa.accepting:
-            out.add(node)
-        for (label, inverse), to_state in by_state.get(state, ()):
-            targets = (
-                graph.predecessors(node, label)
-                if inverse
-                else graph.successors(node, label)
-            )
-            for target in targets:
-                pair = (target, to_state)
-                if pair not in seen:
-                    seen.add(pair)
-                    frontier.append(pair)
+        frontier = deque([(source, dfa.start)])
+        seen: Set[Tuple[Any, int]] = {(source, dfa.start)}
+        out: Set[Any] = set()
+        expanded = 0
+        while frontier:
+            node, state = frontier.popleft()
+            expanded += 1
+            if state in dfa.accepting:
+                out.add(node)
+            for (label, inverse), to_state in by_state.get(state, ()):
+                targets = (
+                    graph.predecessors(node, label)
+                    if inverse
+                    else graph.successors(node, label)
+                )
+                for target in targets:
+                    pair = (target, to_state)
+                    if pair not in seen:
+                        seen.add(pair)
+                        frontier.append(pair)
+        span.set(expansions=expanded, reached=len(out))
     METRICS.inc("rpq.searches")
     METRICS.inc("rpq.expansions", expanded)
     return out

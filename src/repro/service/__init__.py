@@ -22,7 +22,13 @@ A parallel runtime over the measure/advisor/RPQ entry points:
 - :mod:`repro.service.faults` — the deterministic fault-injection
   harness (``REPRO_FAULTS`` / ``--inject-fault``);
 - :mod:`repro.service.validate` — shared bounds validation for CLI
-  options and service invariants.
+  options and service invariants;
+- :mod:`repro.service.trace` — the thread-safe span tracer
+  (``--trace-out``, Chrome/Perfetto export, cross-process adoption);
+- :mod:`repro.service.hist` — fixed-bucket log2 latency histograms
+  (p50/p95/p99 behind ``METRICS.observe``);
+- :mod:`repro.service.export` — trace/Prometheus/report exporters
+  (``--metrics-out``, ``--prometheus-out``, ``metrics-report``).
 
 Submodules are re-exported lazily (PEP 562): the low-level engines import
 ``repro.service.metrics`` directly, and an eager import of the runner here
@@ -67,6 +73,16 @@ _EXPORTS = {
     "fault_injection": "repro.service.faults",
     "parse_fault_specs": "repro.service.faults",
     "validate_batch_options": "repro.service.validate",
+    "Tracer": "repro.service.trace",
+    "Span": "repro.service.trace",
+    "TRACER": "repro.service.trace",
+    "tracing": "repro.service.trace",
+    "Histogram": "repro.service.hist",
+    "chrome_trace": "repro.service.export",
+    "prometheus_text": "repro.service.export",
+    "render_report": "repro.service.export",
+    "save_trace": "repro.service.export",
+    "validate_chrome_trace": "repro.service.export",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -35,6 +35,7 @@ from repro.core.measure import ric
 from repro.core.montecarlo import MCEstimate
 from repro.core.positions import Position, PositionedInstance
 from repro.service.metrics import METRICS
+from repro.service.trace import TRACER
 from repro.service.validate import (
     MAX_SAMPLES,
     check_positive_int,
@@ -117,10 +118,14 @@ def _run_stage(fn, timeout: Optional[float]):
     if timeout is None:
         return fn()
     outcome: dict = {}
+    # The stage thread is outside the caller's span stack; bridge the
+    # trace tree across the hop explicitly.
+    parent_span = TRACER.current_id()
 
     def target() -> None:
         try:
-            outcome["value"] = fn()
+            with TRACER.span("budget.stage.thread", parent_id=parent_span):
+                outcome["value"] = fn()
         except BaseException as exc:  # noqa: BLE001 — relayed to the caller
             outcome["error"] = exc
 
@@ -179,6 +184,7 @@ def measure_ric_with_budget(
         if stage == "exact" and len(instance.positions) > budget.exact_max_positions + 1:
             attempts.append((stage, "skipped:size"))
             METRICS.inc("budget.degradations")
+            TRACER.event("budget.degrade", stage=stage, reason="size")
             continue
         if stage == "exact":
             run = lambda: ric(instance, p, method="exact")
@@ -198,10 +204,12 @@ def measure_ric_with_budget(
         else:
             raise ValueError(f"unknown ladder stage {stage!r}")
         try:
-            value = _run_stage(run, remaining())
+            with TRACER.span("budget.stage", stage=stage):
+                value = _run_stage(run, remaining())
             return value, stage
         except FuturesTimeout:
             attempts.append((stage, "timeout"))
             METRICS.inc("budget.timeouts")
+            TRACER.event("budget.timeout", stage=stage)
 
     raise BudgetExceeded(attempts, perf_counter() - started, budget)

@@ -43,6 +43,7 @@ from typing import Any, Optional
 from repro.service.errors import CacheCorruptError
 from repro.service.faults import FAULTS, InjectedFault
 from repro.service.metrics import METRICS
+from repro.service.trace import TRACER
 
 _MISSING = object()
 
@@ -77,24 +78,28 @@ class ResultCache:
     def get(self, key: str, default: Any = None) -> Any:
         """The cached value for *key* (recency-refreshing), else *default*."""
         FAULTS.maybe_raise("cache", key)
-        with self._lock:
-            value = self._entries.get(key, _MISSING)
-            if value is _MISSING:
-                self._misses += 1
-                return default
-            self._entries.move_to_end(key)
-            self._hits += 1
+        with TRACER.span("cache.get", key=key[:16]) as span:
+            with self._lock:
+                value = self._entries.get(key, _MISSING)
+                if value is _MISSING:
+                    self._misses += 1
+                    span.set(hit=False)
+                    return default
+                self._entries.move_to_end(key)
+                self._hits += 1
+            span.set(hit=True)
             return value
 
     def put(self, key: str, value: Any) -> None:
         """Insert or refresh *key*; evicts the least recent beyond maxsize."""
         FAULTS.maybe_raise("cache", key)
-        with self._lock:
-            self._entries[key] = value
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self._evictions += 1
+        with TRACER.span("cache.put", key=key[:16]):
+            with self._lock:
+                self._entries[key] = value
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                    self._evictions += 1
 
     def __contains__(self, key: str) -> bool:
         with self._lock:

@@ -34,6 +34,7 @@ import threading
 from typing import Dict, Iterable, Optional
 
 from repro.service.metrics import CHECKPOINTS_WRITTEN, METRICS, Metrics
+from repro.service.trace import TRACER
 
 #: Result-entry fields excluded from checkpoints: wall-clock timing and
 #: resume provenance vary between runs; everything else is deterministic.
@@ -105,12 +106,13 @@ class Checkpoint:
     def append(self, key: str, entry: dict) -> None:
         """Durably record one completed result (flush + fsync)."""
         line = _dumps({"key": key, "entry": checkpoint_entry(entry)})
-        with self._lock:
-            if self._handle is None:
-                self._handle = open(self.path, "a", encoding="utf-8")
-            self._handle.write(line + "\n")
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
+        with TRACER.span("checkpoint.append", key=key[:16]):
+            with self._lock:
+                if self._handle is None:
+                    self._handle = open(self.path, "a", encoding="utf-8")
+                self._handle.write(line + "\n")
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
         self.metrics.inc(CHECKPOINTS_WRITTEN)
 
     def finalize(self, entries: Iterable[dict]) -> None:

@@ -1,0 +1,146 @@
+"""Fixed-bucket log2 latency histograms for the metrics registry.
+
+A :class:`Histogram` counts observations into buckets whose upper bounds
+are ``BASE * 2**i`` — powers of two over a microsecond base — so the
+bucket layout is *fixed* (every histogram everywhere has the same
+boundaries) and merging two histograms, including one snapshotted in a
+worker process, is plain element-wise addition.  Alongside the buckets it
+tracks ``count``/``sum``/``min``/``max`` exactly, and derives p50/p95/p99
+summaries by walking the cumulative bucket counts (each quantile is the
+upper bound of the bucket that crosses it, clamped to the observed
+``min``/``max`` — the standard fixed-bucket estimator, never off by more
+than one bucket width, i.e. a factor of two).
+
+The class is deliberately lock-free: it is owned by
+:class:`repro.service.metrics.Metrics`, which serializes access under its
+own registry lock.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+#: Upper bound of bucket 0: observations at or below one microsecond.
+BASE = 1e-6
+
+#: Number of buckets; the last finite bound is ``BASE * 2**(BUCKETS-1)``
+#: (~9.5 hours), far beyond any single-job latency this runtime allows.
+BUCKETS = 45
+
+#: The shared bucket upper bounds (seconds), identical for every
+#: histogram so cross-process merging is element-wise.
+UPPER_BOUNDS: Sequence[float] = tuple(BASE * 2.0**i for i in range(BUCKETS))
+
+
+def bucket_index(value: float) -> int:
+    """The bucket whose upper bound first covers *value*.
+
+    Bucket ``i`` covers ``(BASE * 2**(i-1), BASE * 2**i]``; values at or
+    below ``BASE`` land in bucket 0 and values beyond the last finite
+    bound are clamped into the final bucket (their exact magnitude is
+    still preserved by ``max``).
+    """
+    if value <= BASE:
+        return 0
+    # frexp(x) = (m, e) with x = m * 2**e and 0.5 <= m < 1, so the
+    # smallest i with 2**i >= value/BASE is e — except exact powers of
+    # two (m == 0.5), which already satisfy the bound at e - 1.
+    mantissa, exponent = math.frexp(value / BASE)
+    if mantissa == 0.5:
+        exponent -= 1
+    return min(exponent, BUCKETS - 1)
+
+
+class Histogram:
+    """A fixed-layout log2 histogram with exact count/sum/min/max."""
+
+    __slots__ = ("counts", "count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * BUCKETS
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation (seconds; negatives clamp to zero)."""
+        value = max(0.0, float(value))
+        self.counts[bucket_index(value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def percentile(self, q: float) -> float:
+        """The *q*-quantile estimate (``0 < q <= 1``); 0.0 when empty.
+
+        Returns the upper bound of the bucket where the cumulative count
+        crosses ``q * count``, clamped into ``[min, max]`` so exact
+        observations at the tails are never over-reported.
+        """
+        if self.count == 0:
+            return 0.0
+        threshold = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= threshold:
+                bound = UPPER_BOUNDS[index]
+                return min(max(bound, self.min), self.max)
+        return self.max
+
+    def merge(self, other: "Histogram") -> None:
+        """Element-wise accumulate *other* into this histogram."""
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (snapshots, cross-process piggybacking)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary: sparse buckets plus the derived quantiles."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "buckets": [
+                [UPPER_BOUNDS[i], c]
+                for i, c in enumerate(self.counts)
+                if c
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Histogram":
+        """Rebuild a histogram from :meth:`to_dict` output.
+
+        Bucket bounds are matched back to the fixed layout; an unknown
+        bound (a payload from a different layout) raises ``ValueError``
+        rather than silently mis-binning.
+        """
+        hist = cls()
+        by_bound = {bound: i for i, bound in enumerate(UPPER_BOUNDS)}
+        for bound, bucket_count in payload.get("buckets", []):
+            index = by_bound.get(float(bound))
+            if index is None:
+                raise ValueError(f"unknown histogram bucket bound {bound!r}")
+            hist.counts[index] += int(bucket_count)
+        hist.count = int(payload.get("count", 0))
+        hist.sum = float(payload.get("sum", 0.0))
+        if hist.count:
+            hist.min = float(payload.get("min", 0.0))
+            hist.max = float(payload.get("max", 0.0))
+        return hist

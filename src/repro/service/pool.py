@@ -25,10 +25,18 @@ after a worker SIGKILL, a shut-down thread pool) is rebuilt in place
 before the retry round.  Because chunk results are order-merged
 sufficient statistics, a recovered estimate is still bit-identical to
 the failure-free one.
+
+Chunk evaluation is also the runtime's **cross-process telemetry seam**:
+a chunk that runs in a worker process snapshots its local
+:data:`~repro.service.metrics.METRICS` and finished spans and piggybacks
+them on the chunk result; the dispatching side merges the snapshots and
+adopts the spans under the span that scheduled the work, so the parent's
+metrics report and trace tree are complete under process sharding.
 """
 
 from __future__ import annotations
 
+import os
 import time as _time
 from concurrent.futures import (
     BrokenExecutor,
@@ -49,6 +57,7 @@ from repro.service.errors import from_exception
 from repro.service.faults import FAULTS
 from repro.service.metrics import METRICS, RETRIES
 from repro.service.retry import RetryPolicy, token_seed
+from repro.service.trace import TRACER
 from repro.service.validate import MAX_WORKERS, check_positive_int
 
 
@@ -69,16 +78,48 @@ def chunk_ranges(samples: int, chunks: int) -> List[Tuple[int, int]]:
     return ranges
 
 
-def _eval_chunk(args) -> MCChunk:
+def _eval_chunk(args) -> Tuple[MCChunk, Optional[dict]]:
     """Module-level chunk worker (picklable for process pools).
 
     The fault harness rolls per-chunk dice keyed on the chunk's stable
     ``(seed, start, count)`` identity — never on thread scheduling — so
     an injected crash hits the same chunk on every run.
+
+    Returns ``(chunk, telemetry)``.  In a worker *process* (detected by
+    comparing PIDs against the submitting process), the worker's
+    process-local ``METRICS`` and finished spans are snapshotted and
+    piggybacked on the result so the parent can fold them into its own
+    registry — otherwise every counter the engines record under
+    ``use_processes=True`` would silently vanish.  The child registry is
+    reset around each chunk so the telemetry is exactly that chunk's
+    delta (a fork-started worker inherits the parent's counters; without
+    the reset they would be double-counted on merge).  In thread mode
+    (same PID) telemetry is ``None`` — the engines already recorded into
+    the shared registry.
     """
-    instance, p, start, count, seed = args
+    instance, p, start, count, seed, parent_pid, parent_span, trace = args
+    in_child = os.getpid() != parent_pid
+    if in_child:
+        METRICS.reset()
+        TRACER.reset()
+        TRACER.set_enabled(trace)
     FAULTS.maybe_raise("chunk", f"{seed}:{start}+{count}")
-    return ric_mc_chunk(instance, p, start, count, seed)
+    with TRACER.span(
+        "pool.chunk",
+        parent_id=None if in_child else parent_span,
+        start=start,
+        count=count,
+    ):
+        chunk = ric_mc_chunk(instance, p, start, count, seed)
+    if not in_child:
+        return chunk, None
+    telemetry = {
+        "pid": os.getpid(),
+        "metrics": METRICS.snapshot(),
+        "spans": TRACER.drain(),
+    }
+    METRICS.reset()
+    return chunk, telemetry
 
 
 class WorkerPool:
@@ -187,6 +228,12 @@ class WorkerPool:
                 raise last_error
             METRICS.inc(RETRIES, len(failed))
             METRICS.inc("pool.chunk_retries", len(failed))
+            TRACER.event(
+                "retry",
+                attempt=attempt,
+                failed=len(failed),
+                kind=last_error.kind,
+            )
             if getattr(self._executor, "_broken", False):
                 self.rebuild()
             sleep(self.retry.delay(attempt, seed=token_seed(tokens[failed[0]])))
@@ -218,11 +265,28 @@ class WorkerPool:
         """
         ranges = chunk_ranges(samples, self.workers)
         METRICS.inc("pool.mc.shards", len(ranges))
-        chunks = self.map_retrying(
-            _eval_chunk,
-            [(instance, p, start, count, seed) for start, count in ranges],
-            tokens=[f"{seed}:{start}+{count}" for start, count in ranges],
-        )
+        parent_pid = os.getpid()
+        trace = TRACER.enabled
+        with TRACER.span("pool.mc", shards=len(ranges), samples=samples):
+            # Chunks run on pool threads (or processes): thread-local
+            # nesting cannot see this span, so its ID is passed along
+            # explicitly and every chunk re-roots under it.
+            parent_span = TRACER.current_id()
+            results = self.map_retrying(
+                _eval_chunk,
+                [
+                    (instance, p, start, count, seed,
+                     parent_pid, parent_span, trace)
+                    for start, count in ranges
+                ],
+                tokens=[f"{seed}:{start}+{count}" for start, count in ranges],
+            )
+        chunks = []
+        for chunk, telemetry in results:
+            if telemetry is not None:
+                METRICS.merge(telemetry["metrics"])
+                TRACER.adopt(telemetry["spans"], parent_id=parent_span)
+            chunks.append(chunk)
         return merge_mc_chunks(chunks)
 
     def shutdown(self) -> None:

@@ -23,6 +23,7 @@ from typing import Callable, Dict, Optional
 
 from repro.service.errors import JobError, from_exception
 from repro.service.metrics import METRICS, RETRIES, Metrics
+from repro.service.trace import TRACER
 
 #: The per-kind retryability table: transient faults re-execute,
 #: deterministic failures (bad input, exhausted budgets, genuine bugs)
@@ -117,6 +118,7 @@ def retry_call(
             ):
                 raise error from exc
             metrics.inc(RETRIES)
+            TRACER.event("retry", attempt=attempt, kind=error.kind)
             if on_retry is not None:
                 on_retry(error, attempt)
             sleep(policy.delay(attempt, seed))

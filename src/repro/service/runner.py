@@ -65,6 +65,7 @@ from repro.service.jobs import (
 from repro.service.metrics import METRICS, RETRIES, Metrics
 from repro.service.pool import WorkerPool
 from repro.service.retry import RetryPolicy, token_seed
+from repro.service.trace import TRACER
 
 
 def ric_payload(value) -> dict:
@@ -138,6 +139,7 @@ class BatchRunner:
         budget: Optional[Budget] = None,
         metrics: Metrics = METRICS,
         retry: Optional[RetryPolicy] = None,
+        shard_pool: Optional[WorkerPool] = None,
     ):
         self._owns_pool = pool is None
         self.retry = retry or (pool.retry if pool is not None else RetryPolicy())
@@ -145,6 +147,12 @@ class BatchRunner:
         self.cache = cache if cache is not None else ResultCache()
         self.budget = budget or Budget()
         self.metrics = metrics
+        # Job fan-out always stays on `pool` (thread-backed: it submits
+        # bound methods of this runner, which do not pickle); Monte-Carlo
+        # chunk sharding may be routed to a separate, possibly
+        # process-backed, pool.
+        self.shard_pool = shard_pool if shard_pool is not None else self.pool
+        self._batch_span: Optional[str] = None
 
     # ------------------------------------------------------------------
     # single-job execution (cache-oblivious)
@@ -193,7 +201,7 @@ class BatchRunner:
                 position,
                 budget,
                 method=job.method,
-                pool=self.pool,
+                pool=self.shard_pool,
             )
         payload = ric_payload(value)
         payload["method"] = method_used
@@ -232,7 +240,27 @@ class BatchRunner:
         completes and the file is atomically compacted to input order at
         the end.  With *resume_map* (a :meth:`Checkpoint.load` result),
         already-completed jobs are reused without re-execution.
+
+        When tracing is enabled the batch runs under a ``batch.run``
+        root span and every job opens a ``job`` span re-rooted under it
+        (jobs execute on pool threads, outside this thread's nesting
+        stack).
         """
+        with TRACER.span("batch.run", jobs=len(jobs)) as span:
+            self._batch_span = TRACER.current_id()
+            try:
+                report = self._run(jobs, checkpoint, resume_map)
+            finally:
+                self._batch_span = None
+            span.set(ok=report["ok"], failed=report["failed"])
+            return report
+
+    def _run(
+        self,
+        jobs: Sequence[Job],
+        checkpoint: Optional[Checkpoint] = None,
+        resume_map: Optional[Dict[str, dict]] = None,
+    ) -> dict:
         batch_start = perf_counter()
         resume_map = resume_map or {}
         results: List[Optional[dict]] = [None] * len(jobs)
@@ -313,23 +341,30 @@ class BatchRunner:
         """
         start = perf_counter()
         attempt = 0
-        while True:
-            try:
-                FAULTS.maybe_raise("job", token)
-                value = self.execute(job)
-                return value, None, perf_counter() - start
-            except Exception as exc:  # noqa: BLE001 — classified below
-                error = self._classify(exc)
-                if (
-                    self.retry.is_retryable(error.kind)
-                    and attempt + 1 < self.retry.max_attempts
-                ):
-                    self.metrics.inc(RETRIES)
-                    _time.sleep(self.retry.delay(attempt, token_seed(token)))
-                    attempt += 1
-                    continue
-                self.metrics.inc(f"runner.errors.{error.kind}")
-                return None, error.to_dict(), perf_counter() - start
+        with TRACER.span(
+            "job", parent_id=self._batch_span, kind=job.kind, id=job.id
+        ) as span:
+            while True:
+                try:
+                    FAULTS.maybe_raise("job", token)
+                    value = self.execute(job)
+                    return value, None, perf_counter() - start
+                except Exception as exc:  # noqa: BLE001 — classified below
+                    error = self._classify(exc)
+                    if (
+                        self.retry.is_retryable(error.kind)
+                        and attempt + 1 < self.retry.max_attempts
+                    ):
+                        self.metrics.inc(RETRIES)
+                        span.event("retry", attempt=attempt, kind=error.kind)
+                        _time.sleep(
+                            self.retry.delay(attempt, token_seed(token))
+                        )
+                        attempt += 1
+                        continue
+                    self.metrics.inc("runner.errors", kind=error.kind)
+                    span.set(failed=error.kind)
+                    return None, error.to_dict(), perf_counter() - start
 
     @staticmethod
     def _classify(exc: BaseException) -> JobError:
@@ -430,6 +465,8 @@ def run_batch(
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
     retry: Optional[RetryPolicy] = None,
+    use_processes: bool = False,
+    reset_metrics: bool = True,
 ) -> dict:
     """Execute the JSONL job file at *path* and return the batch report.
 
@@ -442,7 +479,21 @@ def run_batch(
     run progresses; *resume* additionally loads the file first and skips
     every job already completed (bit-identically — the estimators are
     deterministic and wall-clock fields are excluded from checkpoints).
+
+    With *use_processes*, Monte-Carlo chunk sharding runs on a
+    **process** pool (CPU parallelism past the GIL); worker-side engine
+    counters and spans are piggybacked back and merged, so the report's
+    metrics snapshot is complete either way.  Job fan-out stays on
+    threads (runner state does not pickle, and sharded jobs must not
+    queue behind fanned-out ones).
+
+    *reset_metrics* (default) zeroes *metrics* before the batch so the
+    report counts **this batch only** — repeated ``run_batch`` calls in
+    one process (library use) otherwise accumulate forever.  Pass
+    ``False`` to keep accumulating into a shared registry.
     """
+    if reset_metrics:
+        metrics.reset()
     with open(path, "r", encoding="utf-8") as handle:
         records = parse_jsonl_lenient(handle.read())
     jobs = [job for _, job, error in records if error is None]
@@ -462,17 +513,25 @@ def run_batch(
     )
     resume_map = checkpoint.load() if (checkpoint and resume) else None
 
+    shard_pool = (
+        WorkerPool(workers=workers, use_processes=True, retry=retry)
+        if use_processes
+        else None
+    )
     runner = BatchRunner(
         pool=WorkerPool(workers=workers, retry=retry),
         cache=cache,
         budget=budget,
         metrics=metrics,
         retry=retry,
+        shard_pool=shard_pool,
     )
     try:
         report = runner.run(jobs, checkpoint=checkpoint, resume_map=resume_map)
     finally:
         runner.pool.shutdown()
+        if shard_pool is not None:
+            shard_pool.shutdown()
         if checkpoint is not None:
             checkpoint.close()
 

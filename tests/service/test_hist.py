@@ -1,0 +1,127 @@
+"""The fixed-bucket log2 histogram: edges, quantiles, merge, round-trip."""
+
+import pytest
+
+from repro.service.hist import (
+    BASE,
+    BUCKETS,
+    UPPER_BOUNDS,
+    Histogram,
+    bucket_index,
+)
+
+
+class TestBucketEdges:
+    def test_layout_is_log2_over_microsecond_base(self):
+        assert len(UPPER_BOUNDS) == BUCKETS
+        assert UPPER_BOUNDS[0] == BASE
+        for i in range(1, BUCKETS):
+            assert UPPER_BOUNDS[i] == 2 * UPPER_BOUNDS[i - 1]
+
+    def test_values_at_or_below_base_land_in_bucket_zero(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(BASE / 2) == 0
+        assert bucket_index(BASE) == 0
+
+    def test_exact_powers_of_two_sit_on_their_own_bound(self):
+        # Bucket i covers (BASE*2**(i-1), BASE*2**i]: an observation
+        # exactly on a bound belongs to that bucket, not the next.
+        for i in range(1, BUCKETS):
+            assert bucket_index(UPPER_BOUNDS[i]) == i
+
+    def test_values_just_past_a_bound_move_up(self):
+        for i in range(1, 20):
+            assert bucket_index(UPPER_BOUNDS[i] * 1.0000001) == i + 1
+
+    def test_overflow_clamps_into_final_bucket(self):
+        assert bucket_index(UPPER_BOUNDS[-1] * 1000) == BUCKETS - 1
+
+    def test_observe_matches_bucket_index(self):
+        hist = Histogram()
+        for value in (0.0, BASE, 3e-6, 0.001, 2.0):
+            hist.observe(value)
+        for value in (0.0, BASE, 3e-6, 0.001, 2.0):
+            assert hist.counts[bucket_index(value)] >= 1
+        assert sum(hist.counts) == 5
+
+    def test_negative_observations_clamp_to_zero(self):
+        hist = Histogram()
+        hist.observe(-1.0)
+        assert hist.counts[0] == 1
+        assert hist.min == 0.0 and hist.sum == 0.0
+
+
+class TestQuantiles:
+    def test_empty_histogram_reports_zero(self):
+        hist = Histogram()
+        assert hist.percentile(0.5) == 0.0
+        d = hist.to_dict()
+        assert d["count"] == 0 and d["min"] == 0.0 and d["max"] == 0.0
+
+    def test_single_observation_pins_all_quantiles(self):
+        hist = Histogram()
+        hist.observe(0.37)
+        # Clamped into [min, max], so a single value is reported exactly.
+        assert hist.percentile(0.5) == 0.37
+        assert hist.percentile(0.99) == 0.37
+
+    def test_quantiles_are_monotone_and_bucket_accurate(self):
+        hist = Histogram()
+        values = [0.001] * 50 + [0.010] * 45 + [1.0] * 5
+        for value in values:
+            hist.observe(value)
+        p50, p95, p99 = (
+            hist.percentile(0.50),
+            hist.percentile(0.95),
+            hist.percentile(0.99),
+        )
+        assert p50 <= p95 <= p99
+        # Fixed-bucket estimate: never off by more than one bucket (2x).
+        assert 0.001 <= p50 <= 0.002
+        assert 0.010 <= p95 <= 0.020
+        assert 0.5 <= p99 <= 1.0
+
+    def test_tails_clamp_to_observed_extremes(self):
+        hist = Histogram()
+        hist.observe(0.0003)
+        hist.observe(0.0005)
+        assert hist.percentile(1.0) == 0.0005
+        assert hist.percentile(0.01) >= 0.0003
+
+
+class TestMergeAndRoundTrip:
+    def test_merge_is_element_wise(self):
+        a, b = Histogram(), Histogram()
+        for value in (0.001, 0.004):
+            a.observe(value)
+        for value in (0.004, 8.0):
+            b.observe(value)
+        a.merge(b)
+        assert a.count == 4
+        assert a.min == 0.001 and a.max == 8.0
+        assert abs(a.sum - 8.009) < 1e-9
+        assert a.counts[bucket_index(0.004)] == 2
+
+    def test_to_dict_buckets_are_sparse_and_complete(self):
+        hist = Histogram()
+        for value in (0.001, 0.001, 5.0):
+            hist.observe(value)
+        d = hist.to_dict()
+        assert sum(count for _, count in d["buckets"]) == 3
+        assert all(count > 0 for _, count in d["buckets"])
+        assert {bound for bound, _ in d["buckets"]} <= set(UPPER_BOUNDS)
+
+    def test_round_trip_preserves_distribution(self):
+        hist = Histogram()
+        for value in (0.0001, 0.02, 0.02, 3.0):
+            hist.observe(value)
+        clone = Histogram.from_dict(hist.to_dict())
+        assert clone.counts == hist.counts
+        assert clone.count == hist.count
+        assert clone.sum == hist.sum
+        assert clone.min == hist.min and clone.max == hist.max
+        assert clone.percentile(0.5) == hist.percentile(0.5)
+
+    def test_from_dict_rejects_foreign_bucket_layouts(self):
+        with pytest.raises(ValueError):
+            Histogram.from_dict({"count": 1, "buckets": [[0.123456, 1]]})

@@ -33,7 +33,89 @@ class TestRegistry:
         metrics.inc("a", 2)
         assert metrics.snapshot()["counters"] == {"a": 2}
         metrics.reset()
-        assert metrics.snapshot() == {"counters": {}, "timers": {}}
+        assert metrics.snapshot() == {
+            "counters": {},
+            "timers": {},
+            "histograms": {},
+        }
+
+    def test_timer_tracks_min_and_max(self):
+        # A single outlier must be visible in the snapshot, not averaged
+        # away into the sum.
+        metrics = Metrics()
+        metrics.observe("t", 0.002)
+        metrics.observe("t", 10.0)
+        metrics.observe("t", 0.003)
+        snap = metrics.snapshot()["timers"]["t"]
+        assert snap["count"] == 3
+        assert snap["min"] == 0.002
+        assert snap["max"] == 10.0
+        assert abs(snap["seconds"] - 10.005) < 1e-9
+
+    def test_observe_feeds_histogram(self):
+        metrics = Metrics()
+        for value in (0.001, 0.001, 0.5):
+            metrics.observe("t", value)
+        hist = metrics.snapshot()["histograms"]["t"]
+        assert hist["count"] == 3
+        assert hist["p50"] <= hist["p95"] <= hist["p99"]
+        assert hist["min"] == 0.001 and hist["max"] == 0.5
+        assert sum(c for _, c in hist["buckets"]) == 3
+
+    def test_labeled_counters(self):
+        metrics = Metrics()
+        metrics.inc("errors", kind="parse")
+        metrics.inc("errors", 2, kind="budget")
+        metrics.inc("errors", kind="parse")
+        assert metrics.get("errors", kind="parse") == 2
+        assert metrics.get("errors", kind="budget") == 2
+        assert metrics.get("errors") == 0  # unlabeled series is distinct
+        counters = metrics.snapshot()["counters"]
+        assert counters["errors{kind=parse}"] == 2
+        assert counters["errors{kind=budget}"] == 2
+
+    def test_merge_combines_counters_timers_histograms(self):
+        parent, child = Metrics(), Metrics()
+        parent.inc("x", 1)
+        parent.observe("t", 0.5)
+        child.inc("x", 2)
+        child.inc("y", 3)
+        child.observe("t", 0.001)
+        child.observe("u", 1.0)
+
+        parent.merge(child.snapshot())
+        snap = parent.snapshot()
+        assert snap["counters"] == {"x": 3, "y": 3}
+        t = snap["timers"]["t"]
+        assert t["count"] == 2
+        assert t["min"] == 0.001 and t["max"] == 0.5
+        assert abs(t["seconds"] - 0.501) < 1e-9
+        assert snap["timers"]["u"]["count"] == 1
+        assert snap["histograms"]["t"]["count"] == 2
+        assert snap["histograms"]["u"]["count"] == 1
+
+    def test_merge_accepts_registry_instances(self):
+        parent, child = Metrics(), Metrics()
+        child.inc("z", 7)
+        parent.merge(child)
+        assert parent.get("z") == 7
+
+    def test_merge_is_associative_on_snapshots(self):
+        a, b, c = Metrics(), Metrics(), Metrics()
+        for m, v in ((a, 0.1), (b, 0.2), (c, 0.4)):
+            m.observe("t", v)
+            m.inc("n")
+        left = Metrics()
+        left.merge(a)
+        left.merge(b)
+        left.merge(c)
+        right = Metrics()
+        bc = Metrics()
+        bc.merge(b)
+        bc.merge(c)
+        right.merge(a)
+        right.merge(bc)
+        assert left.snapshot() == right.snapshot()
 
 
 class TestEngineWiring:
