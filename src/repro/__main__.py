@@ -3,17 +3,20 @@
 Usage::
 
     python -m repro "R(A,B,C); B->C"
+    python -m repro advise --explain-plan "R(A,B,C); B->C"
     python -m repro --no-measure "R(C,S,Z); CS->Z; Z->C"
     python -m repro --method montecarlo --samples 400 --seed 7 "R(A,B,C); B->C"
     python -m repro batch jobs.jsonl --workers 4 --cache cache.json
     python -m repro batch jobs.jsonl --trace-out t.json --metrics-out m.json
     python -m repro metrics-report --metrics m.json --trace t.json
 
-The default mode prints the :class:`repro.advisor.DesignReport` summary
-for each design argument.  ``--no-measure`` skips the witness
-measurement; ``--method montecarlo`` replaces the exponential exact
-sweep with the deterministic sampled estimator (``--samples``,
-``--seed``).
+The default mode (spelled ``advise`` or bare) prints the
+:class:`repro.advisor.DesignReport` summary for each design argument.
+``--no-measure`` skips the witness measurement; ``--method`` pins the
+witness engine (``auto`` lets the cost-based planner choose between the
+exponential exact sweep and the deterministic sampled estimator);
+``--explain-plan`` prints the planner's decision — chosen engine,
+per-engine cost estimates, and the fallback chain.
 
 ``batch`` executes a JSONL job file (one job object per line — see
 :mod:`repro.service.jobs`) through the worker pool and the
@@ -57,27 +60,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the witness measurement (syntactic diagnosis only)",
     )
+    # The shared --method/--samples/--seed schema (same definition the
+    # batch job records validate against).
+    from repro.service.validate import add_engine_options
+
+    add_engine_options(parser)
     parser.add_argument(
-        "--method",
-        choices=("exact", "montecarlo"),
-        default="exact",
-        help="witness RIC engine: exact exponential sweep (default) or "
-        "the scalable deterministic Monte-Carlo estimator",
-    )
-    parser.add_argument(
-        "--samples",
-        type=int,
-        default=200,
-        metavar="N",
-        help="Monte-Carlo sample count (default 200)",
-    )
-    parser.add_argument(
-        "--seed",
-        type=int,
-        default=0,
-        metavar="N",
-        help="Monte-Carlo master seed (default 0; estimates are "
-        "deterministic in (samples, seed))",
+        "--explain-plan",
+        action="store_true",
+        help="print the planner's decision for each witness measurement: "
+        "chosen engine, per-engine cost estimates, fallback chain",
     )
     return parser
 
@@ -378,6 +370,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return batch_main(argv[1:])
     if argv and argv[0] == "metrics-report":
         return report_main(argv[1:])
+    if argv and argv[0] == "advise":
+        argv = argv[1:]
 
     args = build_parser().parse_args(argv)
     from repro.service.validate import validate_batch_options
@@ -401,6 +395,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(report.summary())
+        if args.explain_plan and report.witness_plan is not None:
+            print(report.witness_plan.explain())
         any_redundant = any_redundant or not report.well_designed
     return 1 if any_redundant else 0
 

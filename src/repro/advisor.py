@@ -16,9 +16,9 @@ from typing import List, Optional, Tuple, Union
 
 from repro.chase.lossless import is_lossless
 from repro.chase.preservation import preserves_dependencies
-from repro.core.measure import ric
 from repro.core.montecarlo import MCEstimate
 from repro.core.welldesign import witness_instance
+from repro.engine import Plan, Problem, plan_and_run
 from repro.dependencies.fd import FD
 from repro.dependencies.jd import JD
 from repro.dependencies.keys import candidate_keys
@@ -68,6 +68,9 @@ class DesignReport:
     witness_ric: Optional[Union[Fraction, MCEstimate]]
     witness_position: Optional[str]
     repairs: Tuple[RepairOption, ...] = field(default_factory=tuple)
+    #: The planner's decision for the witness measurement (None when the
+    #: design is well-designed or measurement was skipped).
+    witness_plan: Optional[Plan] = field(default=None, compare=False)
 
     def summary(self) -> str:
         """A human-readable multi-line report."""
@@ -116,8 +119,11 @@ def advise(
     well-designed; pass ``False`` to skip the measurement and rely on
     the syntactic characterization alone.  *method* selects the witness
     engine: ``"exact"`` (exponential sweep, exact
-    :class:`~fractions.Fraction`) or ``"montecarlo"`` (the scalable
-    deterministic estimator under ``(samples, seed)``).
+    :class:`~fractions.Fraction`), ``"montecarlo"`` (the scalable
+    deterministic estimator under ``(samples, seed)``), or ``"auto"``
+    (the planner chooses by cost).  The chosen
+    :class:`~repro.engine.planner.Plan` is attached to the report as
+    ``witness_plan``.
     """
     if isinstance(design, str):
         schema, deps = parse_design(design)
@@ -140,13 +146,17 @@ def advise(
 
     witness_ric = None
     witness_pos = None
+    witness_plan = None
     if not well and measure_witness:
         witness = witness_instance(universe, fds, mvds)
         if witness is not None:
             inst, pos = witness
-            witness_ric = ric(
+            problem = Problem.from_instance(
                 inst, pos, method=method, samples=samples, seed=seed
             )
+            result = plan_and_run(problem)
+            witness_ric = result.value
+            witness_plan = result.plan
             witness_pos = str(pos)
 
     repairs: List[RepairOption] = []
@@ -197,4 +207,5 @@ def advise(
         witness_ric=witness_ric,
         witness_position=witness_pos,
         repairs=tuple(repairs),
+        witness_plan=witness_plan,
     )

@@ -96,6 +96,18 @@ class PositionedInstance:
         """All positions in canonical order."""
         return list(self._positions)
 
+    @property
+    def schemas(self) -> List[Any]:
+        """The relation schemas, in construction order."""
+        return list(self._schemas)
+
+    def rows_of(self, relation: str) -> List[Tuple[Any, ...]]:
+        """The canonical (sorted-order) rows of *relation*."""
+        for r, schema in enumerate(self._schemas):
+            if schema.name == relation:
+                return list(self._rows[r])
+        raise KeyError(f"no such relation: {relation}")
+
     def position(self, relation: str, row: int, attribute: str) -> Position:
         """The position object for a (relation, row, attribute) triple."""
         pos = Position(relation, row, attribute)

@@ -1,0 +1,140 @@
+"""The cost model: per-engine work estimates from the problem IR alone.
+
+Every engine's dominant cost is a product of an **outer loop** (revealed
+sets swept or sampled) and a **per-world** term (pattern search or
+completion enumeration).  Both are pure functions of the IR shape —
+position count, dependency count, ``samples``, ``k`` — so cost
+estimation never touches the instance, never runs an engine, and is
+deterministic by construction.  The units are abstract "world visits",
+comparable *between* engines on the same problem; the planner only ever
+compares estimates, it never interprets them as seconds.
+
+Feasibility mirrors the engines' own hard guards (the exact sweep's
+``max_positions``, brute force's ``max_worlds``) so a plan never chooses
+a stage the engine itself would refuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.engine.problem import Problem
+
+#: Mirrors ``inf_k_bruteforce``'s default oracle-call ceiling.
+BRUTEFORCE_MAX_WORLDS = 5_000_000
+
+#: Mirrors the exact engines' default ``max_positions`` sweep guard.
+EXACT_MAX_POSITIONS = 18
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """What one engine is predicted to cost on one problem.
+
+    ``worlds`` is the outer-loop size (revealed sets visited), ``units``
+    the total abstract work (worlds x per-world term); ``feasible`` is
+    False when the engine's own hard guard would reject the problem, and
+    ``reason`` says why.
+    """
+
+    engine: str
+    worlds: float
+    units: float
+    feasible: bool
+    reason: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "worlds": self.worlds,
+            "units": self.units,
+            "feasible": self.feasible,
+            "reason": self.reason,
+        }
+
+
+def _pow2(exponent: int) -> float:
+    """``2**exponent`` as a float, saturating instead of overflowing."""
+    try:
+        return float(2**exponent)
+    except OverflowError:
+        return float("inf")
+
+
+class CostModel:
+    """Estimates engine cost from the IR (see the module docstring).
+
+    *exact_max_positions* is the sweep guard used for exact-engine
+    feasibility; budgets carry their own threshold and the planner
+    substitutes it per call.
+    """
+
+    def __init__(self, exact_max_positions: int = EXACT_MAX_POSITIONS):
+        self.exact_max_positions = exact_max_positions
+
+    def estimate(
+        self,
+        problem: Problem,
+        engine: str,
+        exact_max_positions: Optional[int] = None,
+    ) -> CostEstimate:
+        """The :class:`CostEstimate` of *engine* on *problem*."""
+        n = problem.num_positions
+        per_world = max(1, n) * (problem.num_dependencies + 1)
+        limit = (
+            self.exact_max_positions
+            if exact_max_positions is None
+            else exact_max_positions
+        )
+
+        if engine in ("exact", "symbolic"):
+            worlds = _pow2(max(0, n - 1))
+            feasible = n <= limit + 1
+            return CostEstimate(
+                engine=engine,
+                worlds=worlds,
+                units=worlds * per_world,
+                feasible=feasible,
+                reason=(
+                    ""
+                    if feasible
+                    else f"{n} positions exceed the exact-sweep "
+                    f"budget ({limit})"
+                ),
+            )
+        if engine == "montecarlo":
+            samples = problem.samples
+            return CostEstimate(
+                engine=engine,
+                worlds=float(samples),
+                units=float(samples) * per_world,
+                feasible=True,
+            )
+        if engine == "bruteforce":
+            k = problem.k or 0
+            worlds = _pow2(max(0, n - 1))
+            # Every world enumerates up to k^(erased+1) completions; the
+            # erased set can be all other positions, so k^n bounds it —
+            # the same rough figure inf_k_bruteforce guards on.
+            try:
+                completions = float(k**n)
+            except OverflowError:
+                completions = float("inf")
+            units = worlds * completions
+            feasible = (
+                n <= limit + 1 and units <= BRUTEFORCE_MAX_WORLDS * max(k, 1)
+            )
+            return CostEstimate(
+                engine=engine,
+                worlds=worlds,
+                units=units,
+                feasible=feasible,
+                reason=(
+                    ""
+                    if feasible
+                    else f"~{units:.0f} enumerations exceed the brute-force "
+                    f"budget"
+                ),
+            )
+        raise ValueError(f"no cost formula for engine {engine!r}")

@@ -1,0 +1,354 @@
+"""The planner: one place where engine choice, budgets, caching, and
+instrumentation live.
+
+``plan(problem, budget)`` is a **deterministic pure function** of the
+problem IR and the budget limits: it costs every candidate engine
+through the :class:`~repro.engine.cost.CostModel`, pins the requested
+method (or walks the operation's preference ladder for ``"auto"``), and
+emits an explainable :class:`Plan` — the chosen engine, every estimate,
+and the fallback chain.  No engine runs during planning.
+
+``execute`` then walks the plan under the budget's wall clock: a stage
+whose estimate was infeasible is skipped (recorded, like the old
+``service/budget.py`` degradation), a stage that exceeds the remaining
+allowance is abandoned on its sacrificial thread, and when the chain is
+exhausted the structured
+:class:`~repro.service.budget.BudgetExceeded` carries the full stage
+history — byte-compatible with the pre-planner behavior.
+
+``plan_and_run`` adds plan-level result caching: results are keyed by
+:meth:`Problem.canonical_key` through any
+:class:`~repro.service.cache.ResultCache`, so a cache hit skips engine
+execution entirely — and because the key includes method, samples, seed
+and ``k``, an exact result is never served for a sampled request (or
+vice versa).
+
+Instrumentation: ``plan`` and per-engine ``cost_estimate`` spans during
+planning, one ``engine_run`` span per attempted stage, and counters
+``planner.plans`` / ``planner.cache_hits`` / ``engine.runs{engine=…}``
+in the shared registry (reset per batch by ``run_batch``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from time import perf_counter
+from typing import Any, Optional, Tuple
+
+from repro.core.montecarlo import MCEstimate
+from repro.engine.cost import CostEstimate, CostModel
+from repro.engine.engines import get_engine
+from repro.engine.problem import Problem
+from repro.service.budget import Budget, BudgetExceeded, run_time_boxed
+from repro.service.metrics import METRICS
+from repro.service.trace import TRACER
+
+try:  # concurrent.futures spells its timeout differently per version
+    from concurrent.futures import TimeoutError as _StageTimeout
+except ImportError:  # pragma: no cover
+    _StageTimeout = TimeoutError
+
+#: ``"auto"`` preference ladders per operation: exactness first, the
+#: scalable estimator (or the enumeration ground truth) as fallback.
+AUTO_LADDERS = {
+    "ric": ("exact", "montecarlo"),
+    "inf_k": ("symbolic", "bruteforce"),
+}
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One stage of the fallback chain: run it, or skip it and say why."""
+
+    engine: str
+    action: str  # "run" | "skip:size"
+    estimate: CostEstimate
+
+    def to_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "action": self.action,
+            "estimate": self.estimate.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An explainable engine-selection decision for one problem."""
+
+    key: str
+    op: str
+    method: str
+    chosen: Optional[str]
+    steps: Tuple[PlanStep, ...]
+    wall_seconds: Optional[float]
+
+    @property
+    def engines(self) -> Tuple[str, ...]:
+        """Every engine in the chain, in attempt order."""
+        return tuple(step.engine for step in self.steps)
+
+    @property
+    def fallbacks(self) -> Tuple[str, ...]:
+        """The chain after the chosen engine."""
+        runnable = [s.engine for s in self.steps if s.action == "run"]
+        if self.chosen in runnable:
+            return tuple(runnable[runnable.index(self.chosen) + 1:])
+        return tuple(runnable)
+
+    def uses(self, engine: str) -> bool:
+        """Whether *engine* may run under this plan (chosen or fallback)."""
+        return any(
+            step.engine == engine and step.action == "run"
+            for step in self.steps
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "op": self.op,
+            "method": self.method,
+            "chosen": self.chosen,
+            "fallbacks": list(self.fallbacks),
+            "wall_seconds": self.wall_seconds,
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+    def explain(self) -> str:
+        """A human-readable rendering (the ``--explain-plan`` output)."""
+        lines = [
+            f"plan {self.key[:16]}… op={self.op} method={self.method} "
+            f"wall_seconds={self.wall_seconds}"
+        ]
+        for index, step in enumerate(self.steps, start=1):
+            est = step.estimate
+            cost = (
+                f"worlds={est.worlds:g} units={est.units:g}"
+                if est.units != float("inf")
+                else "units=inf"
+            )
+            if step.action == "run":
+                role = "chosen" if step.engine == self.chosen else "fallback"
+                lines.append(f"  {index}. {role} {step.engine}  [{cost}]")
+            else:
+                lines.append(
+                    f"  {index}. skip {step.engine}  [{cost}] — {est.reason}"
+                )
+        if self.chosen is None:
+            lines.append("  no feasible engine: execution would fail fast")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """What ``plan_and_run`` hands back to callers."""
+
+    value: Any
+    engine: str
+    plan: Plan
+    cached: bool = False
+
+
+def encode_value(value) -> dict:
+    """JSON-safe encoding of an engine result (for the plan cache)."""
+    if isinstance(value, MCEstimate):
+        return {
+            "kind": "montecarlo",
+            "mean": value.mean,
+            "stderr": value.stderr,
+            "samples": value.samples,
+        }
+    if isinstance(value, Fraction):
+        return {"kind": "exact", "fraction": str(value)}
+    return {"kind": "float", "value": float(value)}
+
+
+def decode_value(payload: dict):
+    """Invert :func:`encode_value` (bit-exact for every kind)."""
+    if payload["kind"] == "montecarlo":
+        return MCEstimate(
+            mean=payload["mean"],
+            stderr=payload["stderr"],
+            samples=payload["samples"],
+        )
+    if payload["kind"] == "exact":
+        return Fraction(payload["fraction"])
+    return payload["value"]
+
+
+class Planner:
+    """Cost-based engine selection with budget-driven fallback.
+
+    One planner instance is stateless apart from its cost model; the
+    module-level :data:`PLANNER` is the default every caller shares.
+    """
+
+    def __init__(self, cost_model: Optional[CostModel] = None):
+        self.cost_model = cost_model or CostModel()
+
+    # ------------------------------------------------------------------
+    # planning (pure)
+    # ------------------------------------------------------------------
+
+    def ladder(self, problem: Problem) -> Tuple[str, ...]:
+        """The engine chain the plan will consider, in attempt order."""
+        if problem.method != "auto":
+            return (problem.method,)
+        return AUTO_LADDERS[problem.op]
+
+    def plan(
+        self, problem: Problem, budget: Optional[Budget] = None
+    ) -> Plan:
+        """Cost every chain engine and fix the fallback chain.
+
+        Deterministic: the same ``(problem, budget)`` pair always yields
+        an identical plan — no clocks, no randomness, no engine runs.
+        """
+        limit = (
+            budget.exact_max_positions
+            if budget is not None
+            else self.cost_model.exact_max_positions
+        )
+        wall = budget.wall_seconds if budget is not None else None
+        key = problem.canonical_key()
+        steps = []
+        with TRACER.span(
+            "plan", key=key[:16], op=problem.op, method=problem.method
+        ):
+            for name in self.ladder(problem):
+                engine = get_engine(name)
+                with TRACER.span("cost_estimate", engine=name):
+                    estimate = engine.cost(
+                        problem, self.cost_model, exact_max_positions=limit
+                    )
+                steps.append(
+                    PlanStep(
+                        engine=name,
+                        action="run" if estimate.feasible else "skip:size",
+                        estimate=estimate,
+                    )
+                )
+        chosen = next(
+            (step.engine for step in steps if step.action == "run"), None
+        )
+        METRICS.inc("planner.plans")
+        return Plan(
+            key=key,
+            op=problem.op,
+            method=problem.method,
+            chosen=chosen,
+            steps=tuple(steps),
+            wall_seconds=wall,
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        problem: Problem,
+        plan: Plan,
+        budget: Optional[Budget] = None,
+        pool=None,
+    ) -> Tuple[Any, str]:
+        """Walk the plan's chain under the budget; ``(value, engine)``.
+
+        Skipped stages and timeouts are recorded exactly as the old
+        degradation ladder recorded them; an exhausted chain raises the
+        structured :class:`~repro.service.budget.BudgetExceeded`.
+        """
+        budget = budget or Budget(
+            samples=problem.samples, seed=problem.seed
+        )
+        attempts = []
+        started = perf_counter()
+
+        def remaining() -> Optional[float]:
+            if budget.wall_seconds is None:
+                return None
+            left = budget.wall_seconds - (perf_counter() - started)
+            return max(left, 0.001)
+
+        for step in plan.steps:
+            if step.action != "run":
+                attempts.append((step.engine, "skipped:size"))
+                METRICS.inc("budget.degradations")
+                TRACER.event(
+                    "budget.degrade", stage=step.engine, reason="size"
+                )
+                continue
+            engine = get_engine(step.engine)
+            try:
+                with TRACER.span(
+                    "engine_run",
+                    engine=step.engine,
+                    op=problem.op,
+                    key=plan.key[:16],
+                ) as span:
+                    value = run_time_boxed(
+                        lambda: engine.run(problem, pool=pool), remaining()
+                    )
+                    span.set(ok=True)
+                METRICS.inc("engine.runs", engine=step.engine)
+                return value, step.engine
+            except _StageTimeout:
+                attempts.append((step.engine, "timeout"))
+                METRICS.inc("budget.timeouts")
+                TRACER.event("budget.timeout", stage=step.engine)
+
+        raise BudgetExceeded(attempts, perf_counter() - started, budget)
+
+    def plan_and_run(
+        self,
+        problem: Problem,
+        budget: Optional[Budget] = None,
+        pool=None,
+        cache=None,
+    ) -> ExecutionResult:
+        """Plan, consult the plan-level cache, execute on a miss.
+
+        *cache* is any :class:`~repro.service.cache.ResultCache`; entries
+        are keyed by :meth:`Problem.canonical_key` and store the encoded
+        value with the plan that produced it, so a hit skips engine
+        execution entirely and still renders an accurate plan.
+        """
+        plan = self.plan(problem, budget=budget)
+        if cache is not None:
+            entry = cache.get(plan.key)
+            if isinstance(entry, dict) and "value" in entry:
+                METRICS.inc("planner.cache_hits")
+                return ExecutionResult(
+                    value=decode_value(entry["value"]),
+                    engine=entry.get("engine", plan.chosen or ""),
+                    plan=plan,
+                    cached=True,
+                )
+        value, engine = self.execute(problem, plan, budget=budget, pool=pool)
+        if cache is not None:
+            cache.put(
+                plan.key,
+                {
+                    "value": encode_value(value),
+                    "engine": engine,
+                    "plan": plan.to_dict(),
+                },
+            )
+        return ExecutionResult(value=value, engine=engine, plan=plan)
+
+
+#: The default planner every thin caller goes through.
+PLANNER = Planner()
+
+
+def plan_and_run(
+    problem: Problem,
+    budget: Optional[Budget] = None,
+    pool=None,
+    cache=None,
+) -> ExecutionResult:
+    """Module-level convenience over :data:`PLANNER`."""
+    return PLANNER.plan_and_run(
+        problem, budget=budget, pool=pool, cache=cache
+    )

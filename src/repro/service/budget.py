@@ -1,24 +1,30 @@
-"""Per-job budgets: wall-clock limits, graceful degradation, typed errors.
+"""Per-job budgets: wall-clock limits, typed exhaustion errors, and the
+stage time-boxing machinery the planner executes under.
 
 The exact ``RIC`` sweep is ``Θ(2^(n−1))`` in the number of positions, so
 an unguarded service would hang on the first oversized request.  A
 :class:`Budget` bounds each job two ways:
 
 - **size** — instances with more than ``exact_max_positions`` positions
-  never enter the exact sweep; they degrade straight to Monte Carlo;
-- **time** — each ladder stage runs under the remaining wall-clock
-  allowance; a stage that exceeds it is abandoned and the next stage
-  gets what is left.  When the ladder is exhausted the job fails with a
-  structured :class:`BudgetExceeded` carrying the stage history — never
-  a hang, never a bare ``TimeoutError``.
+  never enter the exact sweep (the planner's cost model marks the stage
+  infeasible and the plan skips it);
+- **time** — each plan stage runs under the remaining wall-clock
+  allowance via :func:`run_time_boxed`; a stage that exceeds it is
+  abandoned and the next stage gets what is left.  When the chain is
+  exhausted the job fails with a structured :class:`BudgetExceeded`
+  carrying the stage history — never a hang, never a bare
+  ``TimeoutError``.
 
-The ladder for ``RIC`` is ``exact → montecarlo`` (the exact stage *is*
-the symbolic per-world engine swept over all revealed sets; Monte Carlo
-keeps the symbolic per-world limits and samples the sweep).  Stage
-timeouts are enforced by running the stage on a sacrificial thread and
-abandoning it on expiry — the orphaned thread finishes its computation
-and is discarded, which is the strongest guarantee available without
-process isolation (CPython offers no safe preemptive kill).
+Which engines form the chain, and in which order, is **not** decided
+here: every selection decision lives in
+:class:`repro.engine.planner.Planner`.  :func:`measure_ric_with_budget`
+remains as the historical entry point — it builds a
+:class:`~repro.engine.problem.Problem` and delegates.
+
+Stage timeouts are enforced by running the stage on a sacrificial thread
+and abandoning it on expiry — the orphaned thread finishes its
+computation and is discarded, which is the strongest guarantee available
+without process isolation (CPython offers no safe preemptive kill).
 """
 
 from __future__ import annotations
@@ -28,13 +34,8 @@ import weakref
 from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass
 from fractions import Fraction
-from time import perf_counter
 from typing import List, Optional, Tuple, Union
 
-from repro.core.measure import ric
-from repro.core.montecarlo import MCEstimate
-from repro.core.positions import Position, PositionedInstance
-from repro.service.metrics import METRICS
 from repro.service.trace import TRACER
 from repro.service.validate import (
     MAX_SAMPLES,
@@ -74,7 +75,7 @@ class Budget:
 
 
 class BudgetExceeded(RuntimeError):
-    """Every ladder stage was skipped or timed out.
+    """Every plan stage was skipped or timed out.
 
     Structured: ``stages`` lists ``(stage, outcome)`` pairs in attempt
     order (outcomes: ``"skipped:size"``, ``"timeout"``), ``elapsed`` is
@@ -106,7 +107,7 @@ class BudgetExceeded(RuntimeError):
         }
 
 
-def _run_stage(fn, timeout: Optional[float]):
+def run_time_boxed(fn, timeout: Optional[float]):
     """Run *fn* under *timeout* seconds; raise FuturesTimeout on expiry.
 
     The stage runs on a dedicated **daemon** thread so expiry returns
@@ -157,59 +158,31 @@ def drain_abandoned(timeout: Optional[float] = None) -> int:
 
 
 def measure_ric_with_budget(
-    instance: PositionedInstance,
-    p: Position,
+    instance,
+    p,
     budget: Budget,
     method: str = "auto",
     pool=None,
-) -> Tuple[Union[Fraction, MCEstimate], str]:
-    """``RIC_I(p | Σ)`` under *budget*; returns ``(value, method_used)``.
+) -> Tuple[Union[Fraction, "object"], str]:
+    """``RIC_I(p | Σ)`` under *budget*; returns ``(value, engine_used)``.
 
-    *method* ``"auto"`` walks the full ladder; ``"exact"`` or
-    ``"montecarlo"`` pins a single stage (still time-boxed).  When *pool*
-    is a :class:`repro.service.pool.WorkerPool`, the Monte-Carlo stage
-    shards across it; the estimate is identical either way.
+    Thin compatibility wrapper: builds the canonical
+    :class:`~repro.engine.problem.Problem` and lets the planner choose,
+    time-box, and degrade.  *method* ``"auto"`` walks the planner's full
+    chain; ``"exact"`` or ``"montecarlo"`` pins a single stage (still
+    size-checked and time-boxed).  When *pool* is a
+    :class:`repro.service.pool.WorkerPool`, the Monte-Carlo stage shards
+    across it; the estimate is identical either way.
     """
-    ladder = ("exact", "montecarlo") if method == "auto" else (method,)
-    attempts: List[Tuple[str, str]] = []
-    started = perf_counter()
+    from repro.engine import PLANNER, Problem
 
-    def remaining() -> Optional[float]:
-        if budget.wall_seconds is None:
-            return None
-        left = budget.wall_seconds - (perf_counter() - started)
-        return max(left, 0.001)
-
-    for stage in ladder:
-        if stage == "exact" and len(instance.positions) > budget.exact_max_positions + 1:
-            attempts.append((stage, "skipped:size"))
-            METRICS.inc("budget.degradations")
-            TRACER.event("budget.degrade", stage=stage, reason="size")
-            continue
-        if stage == "exact":
-            run = lambda: ric(instance, p, method="exact")
-        elif stage == "montecarlo":
-            if pool is not None:
-                run = lambda: pool.ric_montecarlo(
-                    instance, p, samples=budget.samples, seed=budget.seed
-                )
-            else:
-                run = lambda: ric(
-                    instance,
-                    p,
-                    method="montecarlo",
-                    samples=budget.samples,
-                    seed=budget.seed,
-                )
-        else:
-            raise ValueError(f"unknown ladder stage {stage!r}")
-        try:
-            with TRACER.span("budget.stage", stage=stage):
-                value = _run_stage(run, remaining())
-            return value, stage
-        except FuturesTimeout:
-            attempts.append((stage, "timeout"))
-            METRICS.inc("budget.timeouts")
-            TRACER.event("budget.timeout", stage=stage)
-
-    raise BudgetExceeded(attempts, perf_counter() - started, budget)
+    problem = Problem.from_instance(
+        instance,
+        p,
+        op="ric",
+        method=method,
+        samples=budget.samples,
+        seed=budget.seed,
+    )
+    result = PLANNER.plan_and_run(problem, budget=budget, pool=pool)
+    return result.value, result.engine

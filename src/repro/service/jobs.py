@@ -27,9 +27,10 @@ from repro.relational.parser import parse_design
 from repro.service.errors import JobError as _TaxonomyError
 from repro.service.errors import ValidationError
 from repro.service.faults import FAULTS
+from repro.service.validate import RIC_METHODS, check_method
 
-#: Methods accepted by measure-style jobs.
-MEASURE_METHODS = ("exact", "montecarlo", "auto")
+#: Methods accepted by measure-style jobs (the shared option schema).
+MEASURE_METHODS = RIC_METHODS
 
 
 class JobSpecError(ValidationError):
@@ -65,9 +66,12 @@ class AdviseJob:
     id: Optional[str] = None
 
     def __post_init__(self):
-        if self.method not in ("exact", "montecarlo"):
-            raise JobError(f"advise method must be exact|montecarlo, "
-                           f"got {self.method!r}")
+        check_method(
+            "method",
+            self.method,
+            choices=("exact", "montecarlo", "auto"),
+            error_cls=JobError,
+        )
         if self.samples <= 0:
             raise JobError("samples must be positive")
 
@@ -84,7 +88,10 @@ class AdviseJob:
             "measure": self.measure,
             "method": self.method,
         }
-        if self.measure and self.method == "montecarlo":
+        # Any method that can sample ("montecarlo", or "auto" degrading
+        # to it) must key on (samples, seed) — an exact result may never
+        # answer a sampled request with different parameters.
+        if self.measure and self.method != "exact":
             payload["samples"] = self.samples
             payload["seed"] = self.seed
         return payload
@@ -127,11 +134,9 @@ class MeasureJob:
         object.__setattr__(
             self, "position", (int(self.position[0]), str(self.position[1]))
         )
-        if self.method not in MEASURE_METHODS:
-            raise JobError(
-                f"measure method must be one of {MEASURE_METHODS}, "
-                f"got {self.method!r}"
-            )
+        check_method(
+            "method", self.method, choices=MEASURE_METHODS, error_cls=JobError
+        )
         if self.samples <= 0:
             raise JobError("samples must be positive")
         if not self.rows:
@@ -221,12 +226,23 @@ Job = Any  # AdviseJob | MeasureJob | RPQJob (3.10-friendly alias)
 _KINDS = {"advise": AdviseJob, "measure": MeasureJob, "rpq": RPQJob}
 
 
-def job_key(job: Job) -> str:
-    """The content address of *job*: SHA-256 of its canonical payload."""
+def canonical_digest(payload: dict) -> str:
+    """SHA-256 over a canonical JSON rendering of *payload*.
+
+    The one digest rule of the runtime: sorted keys, compact separators,
+    ``default=str``.  Job keys and the planner's
+    :meth:`repro.engine.problem.Problem.canonical_key` both go through
+    here, so the two cache key spaces follow identical serialization.
+    """
     blob = json.dumps(
-        job.canonical(), sort_keys=True, separators=(",", ":"), default=str
+        payload, sort_keys=True, separators=(",", ":"), default=str
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def job_key(job: Job) -> str:
+    """The content address of *job*: SHA-256 of its canonical payload."""
+    return canonical_digest(job.canonical())
 
 
 def job_from_dict(data: dict) -> Job:

@@ -4,10 +4,15 @@ The runner takes a job list (usually parsed from a JSONL file, one job
 object per line — see :mod:`repro.service.jobs`), consults the
 content-addressed cache for each, and executes the misses:
 
-- Monte-Carlo and ``auto`` measure jobs run on the main thread with
-  their **sample range sharded across the pool** (the intra-job axis);
+- measure jobs whose :class:`~repro.engine.planner.Plan` may run the
+  Monte-Carlo engine run on the main thread with their **sample range
+  sharded across the pool** (the intra-job axis);
 - every other job fans out to the pool as an independent future (the
   inter-job axis).
+
+Which engines may run is the planner's decision — the runner only asks
+``plan.uses("montecarlo")``; it holds no engine-selection logic of its
+own.
 
 Keeping the two axes on disjoint scheduling paths makes the design
 deadlock-free: a sharded job never waits on pool slots held by other
@@ -43,13 +48,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.advisor import DesignReport, advise
 from repro.core.montecarlo import MCEstimate
-from repro.core.positions import PositionedInstance
+from repro.engine import PLANNER, Plan, Problem
 from repro.graph.graphdb import GraphDB
 from repro.graph.rpq import rpq_eval, rpq_reachable
 from repro.relational.attributes import fmt_attrs
-from repro.relational.parser import parse_design
-from repro.relational.relation import Relation
-from repro.service.budget import Budget, measure_ric_with_budget
+from repro.service.budget import Budget
 from repro.service.cache import ResultCache
 from repro.service.checkpoint import Checkpoint
 from repro.service.errors import JobError, from_exception
@@ -179,33 +182,54 @@ class BatchRunner:
             )
         return report_payload(report)
 
-    def _measure_instance(self, job: MeasureJob) -> tuple:
-        schema, deps = parse_design(job.design)
-        instance = PositionedInstance.from_relation(
-            Relation(schema, job.rows), deps
+    def _measure_problem(self, job: MeasureJob) -> Problem:
+        return Problem.from_design(
+            job.design,
+            job.rows,
+            job.position,
+            method=job.method,
+            samples=job.samples,
+            seed=job.seed,
         )
-        row, attribute = job.position
-        return instance, instance.position(schema.name, row, attribute)
 
-    def _execute_measure(self, job: MeasureJob) -> dict:
-        instance, position = self._measure_instance(job)
-        budget = Budget(
+    def _job_budget(self, job: MeasureJob) -> Budget:
+        return Budget(
             wall_seconds=self.budget.wall_seconds,
             exact_max_positions=self.budget.exact_max_positions,
             samples=job.samples,
             seed=job.seed,
         )
+
+    def _plan_for(self, job: MeasureJob) -> Plan:
+        """The planner's decision for *job* (pure and deterministic, so
+        the scheduling-time plan and the execution-time plan agree)."""
+        return PLANNER.plan(
+            self._measure_problem(job), budget=self._job_budget(job)
+        )
+
+    def _shards_samples(self, job: Job) -> bool:
+        """Whether *job*'s plan may run the Monte-Carlo engine (the
+        sample range then shards across the pool instead of the job
+        fanning out as one future)."""
+        if not isinstance(job, MeasureJob):
+            return False
+        try:
+            return self._plan_for(job).uses("montecarlo")
+        except Exception:  # noqa: BLE001 — scheduling guess only; the
+            # execution path re-raises and classifies the real error.
+            return False
+
+    def _execute_measure(self, job: MeasureJob) -> dict:
+        problem = self._measure_problem(job)
         with self.metrics.timer("job.measure"):
-            value, method_used = measure_ric_with_budget(
-                instance,
-                position,
-                budget,
-                method=job.method,
+            result = PLANNER.plan_and_run(
+                problem,
+                budget=self._job_budget(job),
                 pool=self.shard_pool,
             )
-        payload = ric_payload(value)
-        payload["method"] = method_used
-        payload["position"] = str(position)
+        payload = ric_payload(result.value)
+        payload["method"] = result.engine
+        payload["position"] = str(problem.position_obj())
         return payload
 
     def _execute_rpq(self, job: RPQJob) -> dict:
@@ -287,10 +311,7 @@ class BatchRunner:
                 results[index] = entry
                 self.metrics.inc("runner.checkpoint_hits")
                 resumed += 1
-            elif isinstance(job, MeasureJob) and job.method in (
-                "montecarlo",
-                "auto",
-            ):
+            elif self._shards_samples(job):
                 sharded.append((index, job, key))
             else:
                 fanout.append((index, job, key))

@@ -23,6 +23,73 @@ MAX_SAMPLES = 100_000_000
 MAX_CACHE_SIZE = 10_000_000
 MAX_RETRIES = 100
 
+# ---------------------------------------------------------------------
+# The engine-option schema: ONE definition of --method/--samples/--seed
+# shared by the single-shot CLI, the batch runner's job records, and the
+# planner's problem IR — names, choices, bounds, defaults, and help text
+# all live here so the surfaces cannot drift apart.
+# ---------------------------------------------------------------------
+
+#: Witness/measure engine methods (``auto`` lets the planner choose).
+RIC_METHODS = ("auto", "exact", "montecarlo")
+
+#: Default Monte-Carlo parameters, shared by every entry point.
+DEFAULT_SAMPLES = 200
+DEFAULT_SEED = 0
+
+
+def check_method(
+    name: str,
+    value,
+    choices=RIC_METHODS,
+    error_cls=ValidationError,
+):
+    """*value* as one of *choices*; raises a typed ``validation`` error.
+
+    *error_cls* lets job constructors raise their own
+    :class:`~repro.service.errors.ValidationError` subclass while the
+    option schema (choices, message shape) stays shared.
+    """
+    if value not in choices:
+        raise error_cls(
+            f"{name} must be one of {'|'.join(choices)}, got {value!r}",
+            details={"option": name, "value": repr(value),
+                     "choices": list(choices)},
+        )
+    return value
+
+
+def add_engine_options(
+    parser,
+    methods=("exact", "montecarlo", "auto"),
+    default_method: str = "exact",
+) -> None:
+    """Install the shared ``--method/--samples/--seed`` options on an
+    :class:`argparse.ArgumentParser` (both CLIs call this)."""
+    parser.add_argument(
+        "--method",
+        choices=methods,
+        default=default_method,
+        help="witness RIC engine: exact exponential sweep, the scalable "
+        "deterministic Monte-Carlo estimator, or auto (the planner "
+        f"chooses by cost; default {default_method})",
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=DEFAULT_SAMPLES,
+        metavar="N",
+        help=f"Monte-Carlo sample count (default {DEFAULT_SAMPLES})",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        metavar="N",
+        help=f"Monte-Carlo master seed (default {DEFAULT_SEED}; estimates "
+        "are deterministic in (samples, seed))",
+    )
+
 
 def check_int(
     name: str,
