@@ -1,10 +1,18 @@
-"""Benchmark-suite pytest hooks: the ``--json PATH`` results emitter.
+"""Benchmark-suite pytest hooks: the ``--json`` emitter and ``--profile``.
 
 ``pytest benchmarks/ --benchmark-only -s --json results.json`` makes
 every table printed through :func:`benchmarks.common.print_table` also
-accumulate as a machine-readable record; the collected records are
-written to *PATH* as one JSON document when the session ends.  This is
-what fills the ``BENCH_*.json`` perf-trajectory files.
+accumulate as a machine-readable record, and harvests every
+pytest-benchmark timing as a raw-sample distribution (median-of-k with
+MAD); the collected document — the schema-v2 store of
+:mod:`repro.perf.records` — is written to *PATH* when the session ends.
+This is what fills the ``BENCH_*.json`` perf-trajectory files that
+``python -m repro perf check`` / ``perf report`` consume.
+
+``--profile`` attaches the stdlib stack sampler
+(:class:`repro.perf.profiler.StackSampler`) for the whole session and
+prints the hottest frames at the end; ``--profile-out PATH``
+additionally writes flamegraph-ready collapsed stacks.
 """
 
 from __future__ import annotations
@@ -18,13 +26,63 @@ def pytest_addoption(parser):
         action="store",
         default=None,
         metavar="PATH",
-        help="write benchmark tables as machine-readable JSON to PATH",
+        help="write benchmark tables + timing distributions as "
+        "machine-readable JSON (schema v2) to PATH",
+    )
+    parser.addoption(
+        "--profile",
+        action="store_true",
+        default=False,
+        help="attach the sampling profiler for the whole benchmark "
+        "session and print the hottest frames at the end",
+    )
+    parser.addoption(
+        "--profile-out",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write flamegraph-ready collapsed stacks here "
+        "(implies --profile)",
     )
 
 
 def pytest_configure(config):
     common.set_json_path(config.getoption("--json"))
+    config._repro_sampler = None
+    if config.getoption("--profile") or config.getoption("--profile-out"):
+        from repro.perf.profiler import StackSampler
+
+        config._repro_sampler = StackSampler().start()
+
+
+def _harvest_benchmark_timings(session) -> None:
+    """Record every pytest-benchmark run's raw rounds into the document.
+
+    Best-effort by design: the benchmark session object is
+    pytest-benchmark internals, and a layout change there must never
+    fail the suite — the tables still flush without timings.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    try:
+        for bench in bench_session.benchmarks:
+            stats = getattr(bench, "stats", None)
+            data = getattr(getattr(stats, "stats", stats), "data", None)
+            if data:
+                common.record_timing(bench.name, list(data))
+    except Exception:  # noqa: BLE001 — see the docstring
+        pass
 
 
 def pytest_sessionfinish(session, exitstatus):
+    _harvest_benchmark_timings(session)
     common.flush_json()
+    sampler = getattr(session.config, "_repro_sampler", None)
+    if sampler is not None:
+        sampler.stop()
+        out = session.config.getoption("--profile-out")
+        if out:
+            sampler.write_collapsed(out)
+        print()
+        print(sampler.summary(), end="")

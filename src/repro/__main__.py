@@ -8,7 +8,11 @@ Usage::
     python -m repro --method montecarlo --samples 400 --seed 7 "R(A,B,C); B->C"
     python -m repro batch jobs.jsonl --workers 4 --cache cache.json
     python -m repro batch jobs.jsonl --trace-out t.json --metrics-out m.json
+    python -m repro batch jobs.jsonl --profile --profile-out profile.folded
     python -m repro metrics-report --metrics m.json --trace t.json
+    python -m repro perf check --baseline BENCH_a.json --current BENCH_b.json
+    python -m repro perf report BENCH_a.json BENCH_b.json
+    python -m repro perf calibrate --trace t.json --out cost_calibration.json
 
 The default mode (spelled ``advise`` or bare) prints the
 :class:`repro.advisor.DesignReport` summary for each design argument.
@@ -25,8 +29,12 @@ timing plus cache and engine-metrics summaries.  ``--trace-out`` records
 a span tree (Chrome/Perfetto format), ``--metrics-out`` /
 ``--prometheus-out`` export the metrics snapshot, and ``--processes``
 shards Monte-Carlo sampling over worker processes (their counters and
-spans are merged back).  ``metrics-report`` pretty-prints those
-artifacts.
+spans are merged back).  ``--profile`` attaches the stdlib stack
+sampler for the whole batch (``--profile-out`` writes flamegraph-ready
+collapsed stacks).  ``metrics-report`` pretty-prints those artifacts,
+and ``perf`` hosts the performance observatory: the benchmark
+regression gate, the snapshot trend report, and cost-model calibration
+(see :mod:`repro.perf`).
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ import sys
 from typing import List, Optional
 
 from repro.advisor import advise
+from repro.perf.profiler import DEFAULT_INTERVAL as DEFAULT_PROFILE_INTERVAL
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -173,6 +182,27 @@ def build_batch_parser() -> argparse.ArgumentParser:
         help="write the metrics snapshot in Prometheus text exposition "
         "format here (scrape-file / textfile-collector friendly)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the sampling profiler for the whole batch and "
+        "print the hottest frames (per active span with --trace-out) "
+        "to stderr",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        help="write flamegraph-ready collapsed stacks here "
+        "(implies --profile; feed to flamegraph.pl / speedscope)",
+    )
+    parser.add_argument(
+        "--profile-interval",
+        type=float,
+        default=DEFAULT_PROFILE_INTERVAL,
+        metavar="SECONDS",
+        help="profiler sampling period in seconds (default "
+        f"{DEFAULT_PROFILE_INTERVAL:g} = 100 Hz)",
+    )
     return parser
 
 
@@ -277,7 +307,11 @@ def batch_main(argv: List[str]) -> int:
     from repro.service.retry import RetryPolicy
     from repro.service.runner import format_report, run_batch
     from repro.service.trace import TRACER
-    from repro.service.validate import validate_batch_options
+    from repro.service.validate import (
+        check_output_path,
+        check_timeout,
+        validate_batch_options,
+    )
 
     args = build_batch_parser().parse_args(argv)
 
@@ -285,6 +319,8 @@ def batch_main(argv: List[str]) -> int:
     if tracing:
         TRACER.reset()
         TRACER.enable()
+    profiling = args.profile or bool(args.profile_out)
+    sampler = None
     try:
         validate_batch_options(
             workers=args.workers,
@@ -292,6 +328,26 @@ def batch_main(argv: List[str]) -> int:
             cache_size=args.cache_size,
             retries=args.retries,
         )
+        # Fail on unwritable destinations *before* the batch runs (and
+        # create missing parent directories) — never at save time, when
+        # the work is already spent.
+        for option, value in (
+            ("--out", args.out),
+            ("--trace-out", args.trace_out),
+            ("--metrics-out", args.metrics_out),
+            ("--prometheus-out", args.prometheus_out),
+            ("--profile-out", args.profile_out),
+            ("--checkpoint", args.checkpoint),
+            ("--resume", args.resume),
+            ("--cache", args.cache),
+        ):
+            check_output_path(option, value)
+        if profiling:
+            from repro.perf.profiler import StackSampler
+
+            check_timeout("profile-interval", args.profile_interval)
+            sampler = StackSampler(interval=args.profile_interval)
+            sampler.start()
         if args.inject_fault:
             FAULTS.configure(
                 list(FAULTS.specs())
@@ -329,6 +385,8 @@ def batch_main(argv: List[str]) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
+        if sampler is not None:
+            sampler.stop()
         if tracing:
             TRACER.disable()
 
@@ -348,9 +406,13 @@ def batch_main(argv: List[str]) -> int:
         if args.prometheus_out:
             with open(args.prometheus_out, "w", encoding="utf-8") as handle:
                 handle.write(prometheus_text(report["metrics"]))
+        if sampler is not None and args.profile_out:
+            sampler.write_collapsed(args.profile_out)
     except OSError as exc:
         print(f"warning: observability output not saved: {exc}",
               file=sys.stderr)
+    if sampler is not None:
+        print(sampler.summary(), file=sys.stderr, end="")
 
     text = format_report(report)
     if args.out:
@@ -370,6 +432,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return batch_main(argv[1:])
     if argv and argv[0] == "metrics-report":
         return report_main(argv[1:])
+    if argv and argv[0] == "perf":
+        from repro.perf.cli import perf_main
+
+        return perf_main(argv[1:])
     if argv and argv[0] == "advise":
         argv = argv[1:]
 

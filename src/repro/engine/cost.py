@@ -12,12 +12,23 @@ compares estimates, it never interprets them as seconds.
 Feasibility mirrors the engines' own hard guards (the exact sweep's
 ``max_positions``, brute force's ``max_worlds``) so a plan never chooses
 a stage the engine itself would refuse.
+
+**Calibration** (optional): ``python -m repro perf calibrate`` fits one
+observed seconds-per-unit constant per engine from recorded
+``engine_run`` spans and writes ``cost_calibration.json``; a model built
+with ``CostModel(calibration=load_calibration(path))`` (or
+``CostModel.with_calibration(path)``) then attaches predicted wall
+seconds to every estimate.  Calibration *enriches* estimates — plans,
+``--explain-plan``, and the perf tooling show the seconds — but never
+changes engine selection, so planning stays deterministic and identical
+with or without it.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.engine.problem import Problem
 
@@ -35,7 +46,9 @@ class CostEstimate:
     ``worlds`` is the outer-loop size (revealed sets visited), ``units``
     the total abstract work (worlds x per-world term); ``feasible`` is
     False when the engine's own hard guard would reject the problem, and
-    ``reason`` says why.
+    ``reason`` says why.  ``seconds`` is the predicted wall-clock cost —
+    present only on estimates from a calibrated model, and advisory:
+    selection never depends on it.
     """
 
     engine: str
@@ -43,15 +56,19 @@ class CostEstimate:
     units: float
     feasible: bool
     reason: str = ""
+    seconds: Optional[float] = None
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "engine": self.engine,
             "worlds": self.worlds,
             "units": self.units,
             "feasible": self.feasible,
             "reason": self.reason,
         }
+        if self.seconds is not None:
+            payload["seconds"] = self.seconds
+        return payload
 
 
 def _pow2(exponent: int) -> float:
@@ -62,16 +79,62 @@ def _pow2(exponent: int) -> float:
         return float("inf")
 
 
+def load_calibration(path: str) -> Dict[str, float]:
+    """Per-engine seconds-per-unit constants from ``cost_calibration.json``.
+
+    The file is written by ``python -m repro perf calibrate`` (see
+    :mod:`repro.perf.calibrate`); raises ``ValueError`` when *path* is
+    not a calibration document, so a wrong file never silently yields an
+    empty calibration.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "engines" not in document:
+        raise ValueError(
+            f"{path} is not a cost-calibration document "
+            "(expected the output of 'repro perf calibrate')"
+        )
+    calibration: Dict[str, float] = {}
+    for engine, entry in document["engines"].items():
+        coefficient = entry.get("seconds_per_unit")
+        if not isinstance(coefficient, (int, float)) or coefficient <= 0:
+            raise ValueError(
+                f"{path}: engine {engine!r} carries an invalid "
+                f"seconds_per_unit {coefficient!r}"
+            )
+        calibration[str(engine)] = float(coefficient)
+    return calibration
+
+
 class CostModel:
     """Estimates engine cost from the IR (see the module docstring).
 
     *exact_max_positions* is the sweep guard used for exact-engine
     feasibility; budgets carry their own threshold and the planner
-    substitutes it per call.
+    substitutes it per call.  *calibration* maps engine names to
+    observed seconds-per-unit constants (see :func:`load_calibration`);
+    when present, estimates carry predicted wall seconds.
     """
 
-    def __init__(self, exact_max_positions: int = EXACT_MAX_POSITIONS):
+    def __init__(
+        self,
+        exact_max_positions: int = EXACT_MAX_POSITIONS,
+        calibration: Optional[Dict[str, float]] = None,
+    ):
         self.exact_max_positions = exact_max_positions
+        self.calibration = dict(calibration or {})
+
+    @classmethod
+    def with_calibration(cls, path: str, **kwargs) -> "CostModel":
+        """A model whose calibration is loaded from *path*."""
+        return cls(calibration=load_calibration(path), **kwargs)
+
+    def predicted_seconds(self, engine: str, units: float) -> Optional[float]:
+        """Calibrated wall-clock prediction (None when uncalibrated)."""
+        coefficient = self.calibration.get(engine)
+        if coefficient is None or units == float("inf"):
+            return None
+        return coefficient * units
 
     def estimate(
         self,
@@ -91,10 +154,11 @@ class CostModel:
         if engine in ("exact", "symbolic"):
             worlds = _pow2(max(0, n - 1))
             feasible = n <= limit + 1
+            units = worlds * per_world
             return CostEstimate(
                 engine=engine,
                 worlds=worlds,
-                units=worlds * per_world,
+                units=units,
                 feasible=feasible,
                 reason=(
                     ""
@@ -102,14 +166,17 @@ class CostModel:
                     else f"{n} positions exceed the exact-sweep "
                     f"budget ({limit})"
                 ),
+                seconds=self.predicted_seconds(engine, units),
             )
         if engine == "montecarlo":
             samples = problem.samples
+            units = float(samples) * per_world
             return CostEstimate(
                 engine=engine,
                 worlds=float(samples),
-                units=float(samples) * per_world,
+                units=units,
                 feasible=True,
+                seconds=self.predicted_seconds(engine, units),
             )
         if engine == "bruteforce":
             k = problem.k or 0
@@ -136,5 +203,6 @@ class CostModel:
                     else f"~{units:.0f} enumerations exceed the brute-force "
                     f"budget"
                 ),
+                seconds=self.predicted_seconds(engine, units),
             )
         raise ValueError(f"no cost formula for engine {engine!r}")

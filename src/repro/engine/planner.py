@@ -128,6 +128,8 @@ class Plan:
                 if est.units != float("inf")
                 else "units=inf"
             )
+            if est.seconds is not None:
+                cost += f" ~{est.seconds:.3g}s"
             if step.action == "run":
                 role = "chosen" if step.engine == self.chosen else "fallback"
                 lines.append(f"  {index}. {role} {step.engine}  [{cost}]")
@@ -186,6 +188,20 @@ class Planner:
 
     def __init__(self, cost_model: Optional[CostModel] = None):
         self.cost_model = cost_model or CostModel()
+
+    def load_calibration(self, path: str) -> None:
+        """Swap in a cost model calibrated from ``cost_calibration.json``
+        (written by ``python -m repro perf calibrate``).
+
+        Estimates then carry predicted wall seconds; engine *selection*
+        is unchanged, so plans stay deterministic and bit-identical.
+        """
+        from repro.engine.cost import load_calibration
+
+        self.cost_model = CostModel(
+            exact_max_positions=self.cost_model.exact_max_positions,
+            calibration=load_calibration(path),
+        )
 
     # ------------------------------------------------------------------
     # planning (pure)
@@ -281,17 +297,29 @@ class Planner:
                 continue
             engine = get_engine(step.engine)
             try:
+                # The span carries the stage's unit estimate (and the
+                # calibrated prediction, when one is loaded) next to its
+                # measured duration — the (units, seconds) pairs
+                # ``repro perf calibrate`` replays to fit the model.
                 with TRACER.span(
                     "engine_run",
                     engine=step.engine,
                     op=problem.op,
                     key=plan.key[:16],
+                    units=step.estimate.units,
                 ) as span:
+                    if step.estimate.seconds is not None:
+                        span.set(predicted_seconds=step.estimate.seconds)
+                    stage_started = perf_counter()
                     value = run_time_boxed(
                         lambda: engine.run(problem, pool=pool), remaining()
                     )
                     span.set(ok=True)
                 METRICS.inc("engine.runs", engine=step.engine)
+                METRICS.observe(
+                    f"engine.run.{step.engine}",
+                    perf_counter() - stage_started,
+                )
                 return value, step.engine
             except _StageTimeout:
                 attempts.append((step.engine, "timeout"))

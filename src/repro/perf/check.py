@@ -1,0 +1,211 @@
+"""The regression gate and the trend report over benchmark snapshots.
+
+``check_regressions(baseline, current)`` compares the per-benchmark
+timing distributions of two :mod:`repro.perf.records` documents.  A
+benchmark is flagged only when **both** guards trip:
+
+- **relative** — the current median exceeds the baseline median by more
+  than ``rel_threshold`` (default 25%, so a 30% slowdown is always
+  caught);
+- **noise** — the median shift exceeds ``mad_mult`` times the larger of
+  the two MADs, so ordinary run-to-run jitter (which moves the median
+  *within* its own spread) never trips the gate.  Five identical re-runs
+  of the same workload therefore compare clean: their medians differ by
+  roughly one MAD, far under both guards.
+
+Improvements (the mirror image) are reported informationally, never as
+failures.  The exit-code contract matches the batch runner's: 0 = no
+regression, 1 = regression(s) flagged, 2 = bad input (missing file, not
+a benchmark document, or no comparable timings).
+
+``trend_table(paths)`` renders the medians of every benchmark across a
+series of stored snapshots — the performance trajectory ``BENCH_*.json``
+files exist to record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.perf.records import env_mismatch, load_document
+
+#: A regression needs the median to move by more than this fraction...
+DEFAULT_REL_THRESHOLD = 0.25
+
+#: ...and by more than this many MADs (the noise floor).
+DEFAULT_MAD_MULT = 4.0
+
+
+def compare_timings(
+    baseline: Dict[str, dict],
+    current: Dict[str, dict],
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    mad_mult: float = DEFAULT_MAD_MULT,
+) -> List[dict]:
+    """Per-benchmark comparison rows for the shared timing names.
+
+    Each row carries the two medians, the ratio, the noise floor, and a
+    ``status`` of ``"regression"``, ``"improvement"``, or ``"ok"``.
+    """
+    findings = []
+    for name in sorted(set(baseline) & set(current)):
+        base, cur = baseline[name], current[name]
+        base_median = float(base["median"])
+        cur_median = float(cur["median"])
+        if base_median <= 0.0:
+            continue
+        noise = mad_mult * max(
+            float(base.get("mad", 0.0)), float(cur.get("mad", 0.0))
+        )
+        shift = cur_median - base_median
+        ratio = cur_median / base_median
+        if shift > noise and ratio > 1.0 + rel_threshold:
+            status = "regression"
+        elif -shift > noise and ratio < 1.0 - rel_threshold:
+            status = "improvement"
+        else:
+            status = "ok"
+        findings.append(
+            {
+                "name": name,
+                "baseline_median": base_median,
+                "current_median": cur_median,
+                "ratio": ratio,
+                "noise_floor": noise,
+                "status": status,
+            }
+        )
+    return findings
+
+
+def check_regressions(
+    baseline_path: str,
+    current_path: str,
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    mad_mult: float = DEFAULT_MAD_MULT,
+) -> dict:
+    """The full gate: load both documents, compare, summarize.
+
+    Returns ``{"findings", "regressions", "improvements", "compared",
+    "env_mismatch", "exit_code"}``.  Raises ``OSError``/``ValueError``
+    for unreadable or non-benchmark inputs (callers map these to exit
+    code 2); a pair of valid documents with no timing name in common
+    also yields exit code 2 — an empty comparison must never pass
+    silently as "no regression".
+    """
+    baseline = load_document(baseline_path)
+    current = load_document(current_path)
+    findings = compare_timings(
+        baseline["timings"],
+        current["timings"],
+        rel_threshold=rel_threshold,
+        mad_mult=mad_mult,
+    )
+    regressions = [f for f in findings if f["status"] == "regression"]
+    improvements = [f for f in findings if f["status"] == "improvement"]
+    exit_code = 0
+    if not findings:
+        exit_code = 2
+    elif regressions:
+        exit_code = 1
+    return {
+        "findings": findings,
+        "regressions": len(regressions),
+        "improvements": len(improvements),
+        "compared": len(findings),
+        "env_mismatch": env_mismatch(baseline["env"], current["env"]),
+        "exit_code": exit_code,
+    }
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def render_findings(result: dict) -> str:
+    """The human rendering of a :func:`check_regressions` result."""
+    lines: List[str] = []
+    if result["env_mismatch"]:
+        lines.append(
+            "warning: baseline and current were recorded on different "
+            f"environments ({', '.join(result['env_mismatch'])} differ); "
+            "timing comparison may be meaningless"
+        )
+    findings = result["findings"]
+    if not findings:
+        lines.append(
+            "no comparable timings (do both documents carry 'timings'? "
+            "v1 documents record tables only — re-run the benchmarks "
+            "with the current --json emitter)"
+        )
+        return "\n".join(lines) + "\n"
+    width = max(len(f["name"]) for f in findings)
+    lines.append(
+        f"{'benchmark'.ljust(width)}  {'baseline':>12}  {'current':>12}  "
+        f"{'ratio':>7}  status"
+    )
+    for f in findings:
+        lines.append(
+            f"{f['name'].ljust(width)}  "
+            f"{_fmt_seconds(f['baseline_median']):>12}  "
+            f"{_fmt_seconds(f['current_median']):>12}  "
+            f"{f['ratio']:>6.2f}x  {f['status']}"
+        )
+    lines.append(
+        f"{result['compared']} compared, {result['regressions']} "
+        f"regression(s), {result['improvements']} improvement(s)"
+    )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# the trend report across stored snapshots
+# ----------------------------------------------------------------------
+
+
+def trend_table(paths: Sequence[str]) -> dict:
+    """Medians of every benchmark across the snapshot series *paths*.
+
+    Returns ``{"columns": [label, ...], "rows": {name: [median|None,
+    ...]}}`` where each column label is the snapshot's commit (short) or
+    file name, in the order given.  Snapshots that carry no timings
+    still occupy a column (all ``None``), so gaps in the trajectory stay
+    visible.
+    """
+    columns: List[str] = []
+    rows: Dict[str, List[Optional[float]]] = {}
+    documents = []
+    for path in paths:
+        document = load_document(path)
+        commit = (document.get("env") or {}).get("commit")
+        columns.append(commit[:10] if commit else path.rsplit("/", 1)[-1])
+        documents.append(document)
+    for index, document in enumerate(documents):
+        for name, entry in document["timings"].items():
+            series = rows.setdefault(name, [None] * len(documents))
+            series[index] = float(entry["median"])
+    return {"columns": columns, "rows": rows}
+
+
+def render_trend(trend: dict) -> str:
+    """The human rendering of a :func:`trend_table` result."""
+    rows = trend["rows"]
+    if not rows:
+        return "no timings in any snapshot\n"
+    width = max(len(name) for name in rows)
+    col_width = max(12, *(len(c) for c in trend["columns"]))
+    header = f"{'benchmark'.ljust(width)}  " + "  ".join(
+        c.rjust(col_width) for c in trend["columns"]
+    )
+    lines = [header]
+    for name in sorted(rows):
+        cells = [
+            (_fmt_seconds(m) if m is not None else "-").rjust(col_width)
+            for m in rows[name]
+        ]
+        lines.append(f"{name.ljust(width)}  " + "  ".join(cells))
+    return "\n".join(lines) + "\n"

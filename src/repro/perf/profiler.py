@@ -1,0 +1,237 @@
+"""A stdlib-only periodic stack sampler with span attribution.
+
+The sampler runs on its own daemon thread, waking every ``interval``
+seconds to snapshot every live thread's stack via
+``sys._current_frames()``.  Each snapshot is aggregated two ways:
+
+- **collapsed stacks** — the full root→leaf frame chain, semicolon
+  joined, counted — the input format of flamegraph tools
+  (``flamegraph.pl``, speedscope, inferno);
+- **top-of-stack frames per span** — the leaf frame, keyed by the name
+  of the span open on that thread at sample time (via
+  :meth:`repro.service.trace.Tracer.active_span_names`), which answers
+  "inside ``engine_run``, where is the time actually spent?".
+
+Span attribution needs the tracer enabled (``--trace-out`` or a test's
+``tracing()`` block); without it every sample files under ``"-"`` and
+the sampler still produces plain profiles.
+
+Overhead is one ``sys._current_frames()`` call plus a dict update per
+interval (~20 us a tick with the label cache warm); what actually
+costs is the GIL handoff each wake forces on the sampled threads, so
+the default period is 10 ms — the classic 100 Hz sampling rate — which
+keeps a busy batch run under 5% slower (measured in benchmark E18).
+The sampler never touches the sampled threads themselves: no signals,
+no settrace, no interpreter-wide switches.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.trace import TRACER, Tracer
+
+#: Default wall-clock seconds between stack snapshots.
+DEFAULT_INTERVAL = 0.01
+
+#: Frames deeper than this are truncated (keeps collapsed lines sane).
+MAX_DEPTH = 128
+
+#: The span key used when no span is open on a sampled thread.
+NO_SPAN = "-"
+
+
+#: Label cache keyed by ``id(code)`` — a label depends only on
+#: ``f_code``, and every tick revisits mostly the same code objects, so
+#: caching keeps the per-tick GIL hold (which stalls the sampled
+#: threads) to a dict lookup instead of string surgery.  Each entry
+#: holds the code object itself: the strong reference pins it so its
+#: id can never be recycled onto a different function.
+_LABELS: Dict[int, Tuple[object, str]] = {}
+
+
+def _frame_label(frame) -> str:
+    """``module:function`` for one frame (paths trimmed to basenames)."""
+    code = frame.f_code
+    entry = _LABELS.get(id(code))
+    if entry is not None:
+        return entry[1]
+    filename = code.co_filename.replace("\\", "/").rsplit("/", 1)[-1]
+    if filename.endswith(".py"):
+        filename = filename[:-3]
+    label = f"{filename}:{code.co_name}"
+    if len(_LABELS) < 100_000:
+        _LABELS[id(code)] = (code, label)
+    return label
+
+
+def _collapse(frame) -> Tuple[str, ...]:
+    """The root→leaf frame-label chain of *frame*'s stack."""
+    labels: List[str] = []
+    while frame is not None and len(labels) < MAX_DEPTH:
+        labels.append(_frame_label(frame))
+        frame = frame.f_back
+    labels.reverse()
+    return tuple(labels)
+
+
+class StackSampler:
+    """Periodic whole-process stack sampling (see the module docstring).
+
+    Use as a context manager, or ``start()``/``stop()`` explicitly; both
+    are idempotent.  Aggregates live in plain dicts guarded by the
+    sampler's own lock, so reading results after ``stop()`` is safe.
+    """
+
+    def __init__(
+        self,
+        interval: float = DEFAULT_INTERVAL,
+        tracer: Tracer = TRACER,
+    ):
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.interval = interval
+        self.tracer = tracer
+        #: (span, collapsed-stack tuple) -> sample count.
+        self.stacks: Dict[Tuple[str, Tuple[str, ...]], int] = {}
+        #: (span, leaf frame) -> sample count.
+        self.tops: Dict[Tuple[str, str], int] = {}
+        #: Total stack snapshots taken (threads x ticks).
+        self.samples = 0
+        #: Sampler ticks completed.
+        self.ticks = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started_at: Optional[float] = None
+        self.elapsed = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "StackSampler":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join()
+        self._thread = None
+        if self._started_at is not None:
+            self.elapsed += time.perf_counter() - self._started_at
+            self._started_at = None
+
+    def __enter__(self) -> "StackSampler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # the sampling loop
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        own_ident = threading.get_ident()
+        while not self._stop.wait(self.interval):
+            self._tick(own_ident)
+
+    def _tick(self, own_ident: int) -> None:
+        frames = sys._current_frames()
+        spans = self.tracer.active_span_names()
+        with self._lock:
+            self.ticks += 1
+            for ident, frame in frames.items():
+                if ident == own_ident:
+                    continue
+                span = spans.get(ident, NO_SPAN)
+                stack = _collapse(frame)
+                if not stack:
+                    continue
+                key = (span, stack)
+                self.stacks[key] = self.stacks.get(key, 0) + 1
+                top = (span, stack[-1])
+                self.tops[top] = self.tops.get(top, 0) + 1
+                self.samples += 1
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def collapsed_lines(self) -> List[str]:
+        """Flamegraph-ready lines: ``span;frame;...;frame count``.
+
+        The active span name is prepended as a synthetic root frame, so
+        a flamegraph splits first by span — per-engine, per-job — and
+        only then by code path.
+        """
+        with self._lock:
+            items = sorted(self.stacks.items())
+        return [
+            ";".join((span,) + stack) + f" {count}"
+            for (span, stack), count in items
+        ]
+
+    def write_collapsed(self, path: str) -> int:
+        """Write the collapsed-stack file; returns the line count."""
+        lines = self.collapsed_lines()
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+        return len(lines)
+
+    def summary(self, top: int = 15) -> str:
+        """The human summary: hottest leaf frames, grouped by span."""
+        with self._lock:
+            samples = self.samples
+            ticks = self.ticks
+            items = sorted(self.tops.items(), key=lambda kv: -kv[1])[:top]
+        lines = [
+            f"Profile: {samples} samples over {ticks} ticks "
+            f"(interval {self.interval * 1e3:g} ms)"
+        ]
+        if not items:
+            lines.append("  no samples (run too short or nothing running)")
+            return "\n".join(lines) + "\n"
+        width = max(len(frame) for (_, frame), _ in items)
+        span_width = max(len(span) for (span, _), _ in items)
+        lines.append(
+            f"  {'frame'.ljust(width)}  {'span'.ljust(span_width)}  "
+            f"{'samples':>8}  {'share':>6}"
+        )
+        for (span, frame), count in items:
+            lines.append(
+                f"  {frame.ljust(width)}  {span.ljust(span_width)}  "
+                f"{count:>8}  {count / samples * 100:>5.1f}%"
+            )
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> dict:
+        """JSON-safe aggregate (tests, artifacts)."""
+        with self._lock:
+            return {
+                "interval": self.interval,
+                "samples": self.samples,
+                "ticks": self.ticks,
+                "elapsed": self.elapsed,
+                "tops": [
+                    {"span": span, "frame": frame, "count": count}
+                    for (span, frame), count in sorted(
+                        self.tops.items(), key=lambda kv: -kv[1]
+                    )
+                ],
+            }

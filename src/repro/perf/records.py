@@ -1,0 +1,237 @@
+"""The typed benchmark result store: schema-versioned ``BENCH_*.json``.
+
+Version 2 of the benchmark document fixes the lossiness of version 1
+(every cell stringified exactly as printed) by carrying the raw values
+*alongside* the printed strings, an environment fingerprint so snapshots
+from different machines are never silently compared, and per-benchmark
+timing distributions — the raw per-round samples plus the median and the
+MAD (median absolute deviation), the robust location/spread pair the
+regression gate thresholds on.
+
+Document shape (``schema_version: 2``)::
+
+    {
+      "schema": "repro-bench",
+      "schema_version": 2,
+      "created": "2026-08-06T12:00:00Z",
+      "env": {"python": "3.11.7", "implementation": "CPython",
+              "platform": "Linux-...", "machine": "x86_64",
+              "cpu_count": 8, "commit": "7869b56..." | null},
+      "tables": [{"title": ..., "header": [...],
+                  "rows": [["printed", ...], ...],      # what was printed
+                  "cells": [[raw, ...], ...]}],         # what was passed
+      "timings": {"test_e17_plan_kernel": {
+                  "n": 5, "median": ..., "mad": ..., "mean": ...,
+                  "min": ..., "max": ..., "samples": [...]}}
+    }
+
+Version 1 documents (``{"tables": [...]}`` with stringified cells and no
+timings) remain readable through :func:`load_document`, which normalizes
+both versions to the v2 shape — downstream tooling never branches on the
+version, and the regression gate never parses formatted text.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+#: The document version this module writes.
+SCHEMA_VERSION = 2
+
+#: The document family marker (guards against feeding arbitrary JSON).
+SCHEMA_NAME = "repro-bench"
+
+#: Raw per-benchmark samples kept per timing entry; the summary stats
+#: always cover every sample, the stored list is capped for file size.
+MAX_STORED_SAMPLES = 1000
+
+
+def _git_commit() -> Optional[str]:
+    """The current commit hash, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else None
+
+
+def env_fingerprint() -> dict:
+    """The environment a benchmark snapshot was recorded on.
+
+    Snapshots are only comparable when recorded on like environments;
+    the regression gate prints a warning when fingerprints differ.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "commit": _git_commit(),
+    }
+
+
+# ----------------------------------------------------------------------
+# robust statistics (median-of-k with MAD)
+# ----------------------------------------------------------------------
+
+
+def median(values: Sequence[float]) -> float:
+    """The sample median (mean of the middle pair for even counts)."""
+    if not values:
+        raise ValueError("median of an empty sample")
+    ordered = sorted(float(v) for v in values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Sequence[float], center: Optional[float] = None) -> float:
+    """The median absolute deviation around *center* (default: median).
+
+    MAD is the robust spread estimate the regression gate uses: one
+    outlier round (a GC pause, a noisy neighbour) moves it far less than
+    it moves a standard deviation.
+    """
+    if not values:
+        raise ValueError("MAD of an empty sample")
+    center = median(values) if center is None else center
+    return median([abs(float(v) - center) for v in values])
+
+
+def summarize_samples(samples: Sequence[float]) -> dict:
+    """The stored timing entry for one benchmark's raw samples."""
+    samples = [float(s) for s in samples]
+    if not samples:
+        raise ValueError("cannot summarize an empty sample list")
+    mid = median(samples)
+    return {
+        "n": len(samples),
+        "median": mid,
+        "mad": mad(samples, center=mid),
+        "mean": sum(samples) / len(samples),
+        "min": min(samples),
+        "max": max(samples),
+        "samples": samples[:MAX_STORED_SAMPLES],
+    }
+
+
+# ----------------------------------------------------------------------
+# document construction and (version-tolerant) loading
+# ----------------------------------------------------------------------
+
+
+def json_safe_cell(cell):
+    """A raw cell as a JSON value: numerics survive, the rest stringify.
+
+    ``bool`` stays bool, ``int``/``float`` stay numeric (non-finite
+    floats stringify — JSON has no spelling for them), anything exotic
+    (Fraction, Position, ...) becomes its printed form.
+    """
+    if isinstance(cell, bool) or cell is None:
+        return cell
+    if isinstance(cell, int):
+        return cell
+    if isinstance(cell, float):
+        return cell if cell == cell and abs(cell) != float("inf") else str(cell)
+    return str(cell)
+
+
+def new_document(
+    tables: Sequence[dict],
+    timings: Optional[Dict[str, dict]] = None,
+    env: Optional[dict] = None,
+) -> dict:
+    """A fresh v2 document around *tables* and *timings*."""
+    return {
+        "schema": SCHEMA_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "env": env if env is not None else env_fingerprint(),
+        "tables": list(tables),
+        "timings": dict(timings or {}),
+    }
+
+
+def save_document(path: str, document: dict) -> None:
+    """Write *document* as indented JSON (trailing newline included)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+
+def load_document(path: str) -> dict:
+    """Load a benchmark document, normalizing v1 to the v2 shape.
+
+    A v1 document (``{"tables": [...]}``) gains ``schema_version: 1``,
+    empty ``env``/``timings``, and per-table ``cells`` mirroring the
+    stringified rows, so every reader sees one shape.  Raises
+    ``ValueError`` for files that are not benchmark documents at all.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "tables" not in document:
+        raise ValueError(
+            f"{path} is not a benchmark results document "
+            "(expected a JSON object with a 'tables' list)"
+        )
+    if not isinstance(document.get("tables"), list):
+        raise ValueError(f"{path}: 'tables' must be a list")
+    version = document.get("schema_version", 1)
+    if version == 1:
+        document = {
+            "schema": SCHEMA_NAME,
+            "schema_version": 1,
+            "created": None,
+            "env": {},
+            "tables": [
+                {**table, "cells": table.get("rows", [])}
+                for table in document["tables"]
+            ],
+            "timings": {},
+        }
+    else:
+        document.setdefault("env", {})
+        document.setdefault("timings", {})
+        for table in document["tables"]:
+            table.setdefault("cells", table.get("rows", []))
+    timings = document["timings"]
+    if not isinstance(timings, dict):
+        raise ValueError(f"{path}: 'timings' must be an object")
+    for name, entry in timings.items():
+        if not isinstance(entry, dict) or "median" not in entry:
+            raise ValueError(
+                f"{path}: timing entry {name!r} lacks a median"
+            )
+    return document
+
+
+def env_mismatch(a: dict, b: dict) -> List[str]:
+    """The fingerprint fields (beyond the commit) that differ.
+
+    The commit is *expected* to differ between a baseline and a current
+    run; python version, platform, machine, and CPU count differing
+    means the timing comparison itself is suspect.
+    """
+    fields = ("python", "implementation", "platform", "machine", "cpu_count")
+    return [
+        field
+        for field in fields
+        if a.get(field) is not None
+        and b.get(field) is not None
+        and a.get(field) != b.get(field)
+    ]

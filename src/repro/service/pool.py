@@ -117,6 +117,7 @@ def _eval_chunk(args) -> Tuple[MCChunk, Optional[dict]]:
         "pid": os.getpid(),
         "metrics": METRICS.snapshot(),
         "spans": TRACER.drain(),
+        "dropped": TRACER.dropped,
     }
     METRICS.reset()
     return chunk, telemetry
@@ -285,7 +286,11 @@ class WorkerPool:
         for chunk, telemetry in results:
             if telemetry is not None:
                 METRICS.merge(telemetry["metrics"])
-                TRACER.adopt(telemetry["spans"], parent_id=parent_span)
+                TRACER.adopt(
+                    telemetry["spans"],
+                    parent_id=parent_span,
+                    dropped=telemetry.get("dropped", 0),
+                )
             chunks.append(chunk)
         return merge_mc_chunks(chunks)
 

@@ -156,6 +156,10 @@ class Tracer:
         self._finished: List[Span] = []
         self._adopted: List[dict] = []
         self._tids: Dict[int, int] = {}
+        # thread ident -> that thread's live nesting stack (the same
+        # list object _stack() owns), so the profiler can read each
+        # thread's innermost open span from outside the thread.
+        self._stacks: Dict[int, List[Span]] = {}
         self.max_spans = max_spans
         #: Spans discarded because ``max_spans`` was reached.
         self.dropped = 0
@@ -217,7 +221,26 @@ class Tracer:
         if stack is None:
             stack = []
             self._local.stack = stack
+            with self._lock:
+                self._stacks[threading.get_ident()] = stack
         return stack
+
+    def active_span_names(self) -> Dict[int, str]:
+        """Thread ident -> the name of that thread's innermost open span.
+
+        The cross-thread view the stack sampler joins profiles against;
+        threads with no open span are omitted.  Reads are a snapshot —
+        racing with span open/close can only ever miss or over-report
+        one boundary sample, never corrupt state (appends and pops on
+        the per-thread lists are atomic under the GIL).
+        """
+        with self._lock:
+            stacks = list(self._stacks.items())
+        active: Dict[int, str] = {}
+        for ident, stack in stacks:
+            if stack:
+                active[ident] = stack[-1].name
+        return active
 
     def _next_id_locked(self) -> str:
         self._counter += 1
@@ -273,7 +296,10 @@ class Tracer:
         return spans
 
     def adopt(
-        self, spans: Sequence[dict], parent_id: Optional[str] = None
+        self,
+        spans: Sequence[dict],
+        parent_id: Optional[str] = None,
+        dropped: int = 0,
     ) -> List[str]:
         """Merge spans serialized elsewhere (a worker process) into this
         tracer.
@@ -282,7 +308,14 @@ class Tracer:
         with native spans; internal parent links are preserved through
         the remapping and orphan roots are re-rooted under *parent_id*
         (the span that dispatched the work).  Returns the new IDs.
+
+        *dropped* is the remote tracer's own drop counter at drain time;
+        it accumulates into this tracer's ``dropped`` so capped-out
+        workers are never reported as complete traces — the counter
+        survives any number of adoption hops.
         """
+        with self._lock:
+            self.dropped += max(0, int(dropped))
         if not spans:
             return []
         with self._lock:

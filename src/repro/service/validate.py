@@ -13,6 +13,7 @@ against nonsense (a million workers), not tuning advice.
 from __future__ import annotations
 
 import math
+import os
 from typing import Optional
 
 from repro.service.errors import ValidationError
@@ -137,6 +138,40 @@ def check_timeout(name: str, value) -> Optional[float]:
             details={"option": name, "value": value},
         )
     return value
+
+
+def check_output_path(name: str, path) -> Optional[str]:
+    """*path* as a writable output destination, creating parent dirs.
+
+    ``--trace-out artifacts/run1/trace.json`` must not fail at the *end*
+    of a long batch because ``artifacts/run1/`` does not exist: missing
+    parent directories are created up front, and an uncreatable or
+    unwritable location (or a *path* that is itself a directory) raises
+    a typed :class:`ValidationError` before any work runs.  ``None``
+    passes through (the option is unset).
+    """
+    if path is None:
+        return None
+    path = str(path)
+    if os.path.isdir(path):
+        raise ValidationError(
+            f"{name} {path!r} is a directory, not a writable file path",
+            details={"option": name, "path": path},
+        )
+    parent = os.path.dirname(os.path.abspath(path))
+    try:
+        os.makedirs(parent, exist_ok=True)
+    except OSError as exc:
+        raise ValidationError(
+            f"{name} parent directory {parent!r} cannot be created: {exc}",
+            details={"option": name, "path": path, "parent": parent},
+        ) from exc
+    if not os.access(parent, os.W_OK):
+        raise ValidationError(
+            f"{name} location {parent!r} is not writable",
+            details={"option": name, "path": path, "parent": parent},
+        )
+    return path
 
 
 def validate_batch_options(

@@ -1,0 +1,143 @@
+"""The regression gate: dual guards, exit codes, trend table."""
+
+import pytest
+
+from repro.perf.check import (
+    check_regressions,
+    compare_timings,
+    render_findings,
+    render_trend,
+    trend_table,
+)
+from repro.perf.records import new_document, save_document, summarize_samples
+
+
+def entry(median, mad=0.0):
+    return {"n": 5, "median": median, "mad": mad}
+
+
+class TestCompareTimings:
+    def test_clear_slowdown_is_a_regression(self):
+        (finding,) = compare_timings(
+            {"k": entry(0.100, mad=0.002)}, {"k": entry(0.140, mad=0.002)}
+        )
+        assert finding["status"] == "regression"
+        assert finding["ratio"] == pytest.approx(1.4)
+
+    def test_identical_timings_are_ok(self):
+        (finding,) = compare_timings(
+            {"k": entry(0.100, mad=0.002)}, {"k": entry(0.100, mad=0.002)}
+        )
+        assert finding["status"] == "ok"
+
+    def test_large_shift_within_noise_floor_is_ok(self):
+        # 40% slower but the MADs are huge: the shift does not clear
+        # 4x the spread, so the gate refuses to call it a regression.
+        (finding,) = compare_timings(
+            {"k": entry(0.100, mad=0.015)}, {"k": entry(0.140, mad=0.015)}
+        )
+        assert finding["status"] == "ok"
+
+    def test_significant_but_small_shift_is_ok(self):
+        # 10% slower with tiny MADs: statistically real, but below the
+        # 25% relative threshold — not worth failing a build over.
+        (finding,) = compare_timings(
+            {"k": entry(0.100, mad=0.0001)}, {"k": entry(0.110, mad=0.0001)}
+        )
+        assert finding["status"] == "ok"
+
+    def test_symmetric_speedup_is_an_improvement(self):
+        (finding,) = compare_timings(
+            {"k": entry(0.140, mad=0.002)}, {"k": entry(0.100, mad=0.002)}
+        )
+        assert finding["status"] == "improvement"
+
+    def test_thresholds_are_tunable(self):
+        findings = compare_timings(
+            {"k": entry(0.100, mad=0.0001)},
+            {"k": entry(0.110, mad=0.0001)},
+            rel_threshold=0.05,
+        )
+        assert findings[0]["status"] == "regression"
+
+    def test_only_shared_names_compare(self):
+        findings = compare_timings(
+            {"a": entry(0.1), "b": entry(0.2)},
+            {"b": entry(0.2), "c": entry(0.3)},
+        )
+        assert [f["name"] for f in findings] == ["b"]
+
+    def test_zero_baseline_median_is_skipped(self):
+        assert compare_timings({"k": entry(0.0)}, {"k": entry(0.1)}) == []
+
+
+def write_doc(tmp_path, name, timings, env=None):
+    path = str(tmp_path / name)
+    save_document(path, new_document([], timings=timings, env=env or {}))
+    return path
+
+
+class TestCheckRegressions:
+    def test_exit_codes_zero_one_two(self, tmp_path):
+        base = write_doc(
+            tmp_path, "base.json", {"k": summarize_samples([0.1, 0.1, 0.1])}
+        )
+        same = write_doc(
+            tmp_path, "same.json", {"k": summarize_samples([0.1, 0.1, 0.1])}
+        )
+        slow = write_doc(
+            tmp_path, "slow.json", {"k": summarize_samples([0.15, 0.15, 0.15])}
+        )
+        disjoint = write_doc(
+            tmp_path, "other.json", {"j": summarize_samples([0.1])}
+        )
+        assert check_regressions(base, same)["exit_code"] == 0
+        assert check_regressions(base, slow)["exit_code"] == 1
+        # Nothing comparable must NOT pass silently as "no regression".
+        assert check_regressions(base, disjoint)["exit_code"] == 2
+
+    def test_env_mismatch_is_surfaced(self, tmp_path):
+        base = write_doc(
+            tmp_path, "base.json",
+            {"k": summarize_samples([0.1])}, env={"python": "3.10.0"},
+        )
+        cur = write_doc(
+            tmp_path, "cur.json",
+            {"k": summarize_samples([0.1])}, env={"python": "3.11.7"},
+        )
+        result = check_regressions(base, cur)
+        assert result["env_mismatch"] == ["python"]
+        rendered = render_findings(result)
+        assert "python" in rendered
+
+    def test_render_lists_each_benchmark(self, tmp_path):
+        base = write_doc(
+            tmp_path, "base.json", {"k": summarize_samples([0.1])}
+        )
+        result = check_regressions(base, base)
+        rendered = render_findings(result)
+        assert "k" in rendered and "ok" in rendered
+
+
+class TestTrend:
+    def test_trend_table_spans_snapshots(self, tmp_path):
+        a = write_doc(
+            tmp_path, "a.json", {"k": summarize_samples([0.1])}
+        )
+        b = write_doc(
+            tmp_path, "b.json", {"k": summarize_samples([0.2])}
+        )
+        trend = trend_table([a, b])
+        assert trend["columns"] == ["a.json", "b.json"]
+        assert trend["rows"]["k"] == [0.1, 0.2]
+        rendered = render_trend(trend)
+        assert "k" in rendered
+        assert "100" in rendered and "200" in rendered  # ms columns
+
+    def test_snapshots_without_a_timing_keep_a_visible_gap(self, tmp_path):
+        a = write_doc(tmp_path, "a.json", {"k": summarize_samples([0.1])})
+        b = write_doc(tmp_path, "b.json", {"j": summarize_samples([0.3])})
+        trend = trend_table([a, b])
+        assert trend["rows"]["k"] == [0.1, None]
+        assert trend["rows"]["j"] == [None, 0.3]
+        assert "-" in render_trend(trend)

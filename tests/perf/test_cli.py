@@ -1,0 +1,178 @@
+"""``python -m repro perf`` and the batch CLI's profiling/output paths."""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.perf.records import new_document, save_document, summarize_samples
+from repro.service.errors import ValidationError
+from repro.service.validate import check_output_path
+
+
+def write_doc(tmp_path, name, timings):
+    path = str(tmp_path / name)
+    save_document(path, new_document([], timings=timings, env={}))
+    return path
+
+
+@pytest.fixture
+def snapshots(tmp_path):
+    base = write_doc(
+        tmp_path, "base.json", {"k": summarize_samples([0.1, 0.1, 0.1])}
+    )
+    slow = write_doc(
+        tmp_path, "slow.json", {"k": summarize_samples([0.2, 0.2, 0.2])}
+    )
+    return base, slow
+
+
+class TestPerfCheckCli:
+    def test_clean_comparison_exits_zero(self, snapshots, capsys):
+        base, _ = snapshots
+        assert main(["perf", "check", "--baseline", base,
+                     "--current", base]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, snapshots, capsys):
+        base, slow = snapshots
+        assert main(["perf", "check", "--baseline", base,
+                     "--current", slow]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_warn_only_downgrades_to_zero(self, snapshots, capsys):
+        base, slow = snapshots
+        assert main(["perf", "check", "--baseline", base,
+                     "--current", slow, "--warn-only"]) == 0
+        assert "warning" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, snapshots, capsys):
+        base, _ = snapshots
+        missing = str(tmp_path / "nope.json")
+        assert main(["perf", "check", "--baseline", base,
+                     "--current", missing]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_nothing_comparable_exits_two(self, tmp_path, snapshots):
+        base, _ = snapshots
+        other = write_doc(
+            tmp_path, "other.json", {"j": summarize_samples([0.1])}
+        )
+        assert main(["perf", "check", "--baseline", base,
+                     "--current", other]) == 2
+
+    def test_out_writes_findings_json(self, tmp_path, snapshots):
+        base, slow = snapshots
+        out = str(tmp_path / "findings.json")
+        main(["perf", "check", "--baseline", base, "--current", slow,
+              "--warn-only", "--out", out])
+        with open(out, "r", encoding="utf-8") as handle:
+            findings = json.load(handle)
+        assert findings["regressions"] == 1
+
+    def test_negative_threshold_exits_two(self, snapshots):
+        base, _ = snapshots
+        assert main(["perf", "check", "--baseline", base, "--current",
+                     base, "--threshold", "-1"]) == 2
+
+
+class TestPerfReportCli:
+    def test_report_renders_trend(self, snapshots, capsys):
+        base, slow = snapshots
+        assert main(["perf", "report", base, slow]) == 0
+        out = capsys.readouterr().out
+        assert "k" in out and "base.json" in out
+
+
+class TestPerfCalibrateCli:
+    def test_calibrate_fits_and_writes(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.json")
+        with open(trace, "w", encoding="utf-8") as handle:
+            json.dump({"traceEvents": [
+                {"ph": "X", "name": "engine_run", "dur": u * 10,
+                 "args": {"engine": "exact", "units": u}}
+                for u in (100.0, 200.0)
+            ]}, handle)
+        out = str(tmp_path / "cost_calibration.json")
+        assert main(["perf", "calibrate", "--trace", trace,
+                     "--out", out]) == 0
+        assert "exact" in capsys.readouterr().out
+        with open(out, "r", encoding="utf-8") as handle:
+            assert "exact" in json.load(handle)["engines"]
+
+    def test_unusable_trace_exits_two(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.json")
+        with open(trace, "w", encoding="utf-8") as handle:
+            json.dump({"traceEvents": []}, handle)
+        assert main(["perf", "calibrate", "--trace", trace]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+JOB = '{"kind": "rpq", "edges": [["a","l","b"]], "query": "l"}\n'
+
+
+class TestBatchOutputPaths:
+    def test_nested_output_dirs_are_created_up_front(self, tmp_path):
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text(JOB, encoding="utf-8")
+        trace = tmp_path / "deep" / "nested" / "trace.json"
+        profile = tmp_path / "prof" / "stacks.collapsed"
+        code = main(["batch", str(jobs),
+                     "--trace-out", str(trace),
+                     "--profile-out", str(profile)])
+        assert code == 0
+        assert trace.exists() and profile.exists()
+
+    def test_directory_as_output_path_exits_two(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text(JOB, encoding="utf-8")
+        code = main(["batch", str(jobs), "--trace-out", str(tmp_path)])
+        assert code == 2
+        assert "directory" in capsys.readouterr().err
+
+    def test_uncreatable_parent_exits_two(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text(JOB, encoding="utf-8")
+        # A file used as a directory component cannot be created.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("", encoding="utf-8")
+        code = main(["batch", str(jobs),
+                     "--metrics-out", str(blocker / "m.json")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err.lower()
+
+    def test_check_output_path_is_typed(self, tmp_path):
+        with pytest.raises(ValidationError):
+            check_output_path("--trace-out", str(tmp_path))
+        assert check_output_path("--trace-out", None) is None
+        nested = str(tmp_path / "a" / "b" / "out.json")
+        assert check_output_path("--trace-out", nested) == nested
+        assert os.path.isdir(os.path.dirname(nested))
+
+    @pytest.mark.skipif(os.geteuid() == 0, reason="root ignores modes")
+    def test_unwritable_parent_exits_two(self, tmp_path):
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text(JOB, encoding="utf-8")
+        locked = tmp_path / "locked"
+        locked.mkdir()
+        locked.chmod(0o500)
+        try:
+            code = main(["batch", str(jobs),
+                         "--out", str(locked / "r.jsonl")])
+        finally:
+            locked.chmod(0o700)
+        assert code == 2
+
+    def test_profile_flag_prints_summary(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text(JOB * 3, encoding="utf-8")
+        code = main(["batch", str(jobs), "--profile"])
+        assert code == 0
+        assert "Profile:" in capsys.readouterr().err
+
+    def test_bad_profile_interval_exits_two(self, tmp_path):
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text(JOB, encoding="utf-8")
+        assert main(["batch", str(jobs), "--profile",
+                     "--profile-interval", "0"]) == 2

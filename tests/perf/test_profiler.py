@@ -1,0 +1,124 @@
+"""The stack sampler: lifecycle, aggregation, span attribution."""
+
+import threading
+import time
+
+import pytest
+
+from repro.perf.profiler import NO_SPAN, StackSampler
+from repro.service.trace import Tracer
+
+
+def spin_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition not reached in time")
+        time.sleep(0.005)
+
+
+class TestLifecycle:
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError):
+            StackSampler(interval=0)
+        with pytest.raises(ValueError):
+            StackSampler(interval=-1.0)
+
+    def test_start_and_stop_are_idempotent(self):
+        sampler = StackSampler(interval=0.001)
+        assert sampler.start() is sampler.start()
+        sampler.stop()
+        sampler.stop()
+        assert sampler._thread is None
+
+    def test_context_manager_samples_this_thread(self):
+        with StackSampler(interval=0.001) as sampler:
+            spin_until(lambda: sampler.samples > 0)
+        assert sampler.ticks > 0
+        assert sampler.elapsed > 0.0
+        # Our own busy-wait must appear somewhere in the aggregates.
+        frames = {frame for (_, frame) in sampler.tops}
+        assert any("spin_until" in frame for frame in frames)
+
+    def test_sampler_never_samples_its_own_thread(self):
+        with StackSampler(interval=0.001) as sampler:
+            spin_until(lambda: sampler.ticks > 5)
+        for (_, stack) in sampler.stacks:
+            assert not any("_tick" in frame for frame in stack)
+
+
+class TestAggregation:
+    def test_collapsed_lines_format(self, tmp_path):
+        with StackSampler(interval=0.001) as sampler:
+            spin_until(lambda: sampler.samples > 3)
+        lines = sampler.collapsed_lines()
+        assert lines
+        for line in lines:
+            stack_part, count = line.rsplit(" ", 1)
+            assert int(count) > 0
+            assert ";" in stack_part  # span root + at least one frame
+        path = str(tmp_path / "profile.collapsed")
+        assert sampler.write_collapsed(path) == len(lines)
+        with open(path, "r", encoding="utf-8") as handle:
+            assert handle.read().splitlines() == lines
+
+    def test_summary_and_to_dict_report_counts(self):
+        with StackSampler(interval=0.001) as sampler:
+            spin_until(lambda: sampler.samples > 3)
+        text = sampler.summary(top=5)
+        assert "samples" in text
+        data = sampler.to_dict()
+        assert data["samples"] == sampler.samples
+        assert data["tops"] and data["tops"][0]["count"] >= data["tops"][-1]["count"]
+
+    def test_empty_summary_renders(self):
+        sampler = StackSampler(interval=0.5)
+        assert "no samples" in sampler.summary()
+
+
+class TestSpanAttribution:
+    def test_samples_file_under_the_innermost_open_span(self):
+        tracer = Tracer()
+        tracer.enable()
+        with StackSampler(interval=0.001, tracer=tracer) as sampler:
+            with tracer.span("outer"):
+                with tracer.span("engine_run"):
+                    spin_until(
+                        lambda: any(
+                            span == "engine_run" for (span, _) in sampler.tops
+                        )
+                    )
+
+    def test_without_open_spans_samples_file_under_no_span(self):
+        tracer = Tracer()
+        tracer.enable()
+        with StackSampler(interval=0.001, tracer=tracer) as sampler:
+            spin_until(lambda: sampler.samples > 0)
+        spans = {span for (span, _) in sampler.tops}
+        assert NO_SPAN in spans
+
+    def test_attribution_is_per_thread(self):
+        tracer = Tracer()
+        tracer.enable()
+        stop = threading.Event()
+
+        def worker():
+            with tracer.span("worker_span"):
+                stop.wait(5.0)
+
+        thread = threading.Thread(target=worker, daemon=True)
+        with StackSampler(interval=0.001, tracer=tracer) as sampler:
+            thread.start()
+            try:
+                spin_until(
+                    lambda: any(
+                        span == "worker_span" for (span, _) in sampler.tops
+                    )
+                )
+            finally:
+                stop.set()
+                thread.join()
+        # The main thread never ran under worker_span.
+        for (span, stack), _ in sampler.stacks.items():
+            if span == "worker_span":
+                assert not any("spin_until" in frame for frame in stack)

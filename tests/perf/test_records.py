@@ -1,0 +1,125 @@
+"""The benchmark result store: summaries, cells, versioned loading."""
+
+import json
+
+import pytest
+
+from repro.perf.records import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    env_fingerprint,
+    env_mismatch,
+    json_safe_cell,
+    load_document,
+    mad,
+    median,
+    new_document,
+    save_document,
+    summarize_samples,
+)
+
+
+class TestRobustStatistics:
+    def test_median_odd_and_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_mad_is_zero_for_constant_samples(self):
+        assert mad([5.0, 5.0, 5.0]) == 0.0
+
+    def test_mad_ignores_a_single_outlier_where_stdev_cannot(self):
+        samples = [1.0, 1.1, 0.9, 1.0, 100.0]
+        assert mad(samples) < 0.2  # the outlier does not inflate it
+
+    def test_summarize_samples_shape(self):
+        summary = summarize_samples([0.2, 0.1, 0.3])
+        assert summary["n"] == 3
+        assert summary["median"] == 0.2
+        assert summary["min"] == 0.1 and summary["max"] == 0.3
+        assert summary["samples"] == [0.2, 0.1, 0.3]
+
+    def test_summarize_samples_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize_samples([])
+
+
+class TestJsonSafeCell:
+    def test_numerics_survive_untouched(self):
+        assert json_safe_cell(6) == 6
+        assert json_safe_cell(0.25) == 0.25
+        assert json_safe_cell(True) is True
+        assert json_safe_cell(None) is None
+
+    def test_non_finite_floats_and_exotics_stringify(self):
+        from fractions import Fraction
+
+        assert json_safe_cell(float("inf")) == "inf"
+        assert json_safe_cell(float("nan")) == "nan"
+        assert json_safe_cell(Fraction(1, 3)) == "1/3"
+
+
+class TestDocuments:
+    def test_new_document_carries_env_fingerprint(self):
+        doc = new_document([])
+        assert doc["schema"] == SCHEMA_NAME
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["env"]["python"] == env_fingerprint()["python"]
+
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        doc = new_document(
+            [{"title": "t", "header": ["a"], "rows": [["1"]],
+              "cells": [[1]]}],
+            timings={"k": summarize_samples([0.1, 0.2, 0.3])},
+        )
+        save_document(path, doc)
+        loaded = load_document(path)
+        assert loaded["tables"][0]["cells"] == [[1]]
+        assert loaded["timings"]["k"]["median"] == 0.2
+
+    def test_v1_documents_normalize_to_the_v2_shape(self, tmp_path):
+        path = str(tmp_path / "v1.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"tables": [{"title": "t", "header": ["a"],
+                             "rows": [["32.04 ms"]]}]},
+                handle,
+            )
+        doc = load_document(path)
+        assert doc["schema_version"] == 1
+        assert doc["env"] == {} and doc["timings"] == {}
+        # cells mirror the stringified rows — one shape for readers.
+        assert doc["tables"][0]["cells"] == [["32.04 ms"]]
+
+    def test_non_benchmark_json_is_rejected(self, tmp_path):
+        path = str(tmp_path / "other.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"traceEvents": []}, handle)
+        with pytest.raises(ValueError):
+            load_document(path)
+
+    def test_timing_entries_must_carry_a_median(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"schema_version": 2, "tables": [],
+                 "timings": {"k": {"mean": 0.1}}},
+                handle,
+            )
+        with pytest.raises(ValueError):
+            load_document(path)
+
+
+class TestEnvMismatch:
+    def test_commit_differences_are_expected(self):
+        a = {"python": "3.11.7", "commit": "aaa"}
+        b = {"python": "3.11.7", "commit": "bbb"}
+        assert env_mismatch(a, b) == []
+
+    def test_platform_differences_are_reported(self):
+        a = {"python": "3.11.7", "cpu_count": 8}
+        b = {"python": "3.12.1", "cpu_count": 4}
+        assert env_mismatch(a, b) == ["python", "cpu_count"]
+
+    def test_missing_fields_do_not_count(self):
+        assert env_mismatch({"python": "3.11.7"}, {}) == []

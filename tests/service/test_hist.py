@@ -102,6 +102,33 @@ class TestMergeAndRoundTrip:
         assert abs(a.sum - 8.009) < 1e-9
         assert a.counts[bucket_index(0.004)] == 2
 
+    def test_merge_empty_into_populated_is_identity(self):
+        populated, empty = Histogram(), Histogram()
+        for value in (0.001, 0.25):
+            populated.observe(value)
+        before = populated.to_dict()
+        populated.merge(empty)
+        # The empty histogram's inf/-inf min/max sentinels must not
+        # leak into the populated side.
+        assert populated.to_dict() == before
+        assert populated.min == 0.001 and populated.max == 0.25
+
+    def test_merge_populated_into_empty_copies_distribution(self):
+        populated, empty = Histogram(), Histogram()
+        for value in (0.001, 0.25):
+            populated.observe(value)
+        empty.merge(populated)
+        assert empty.to_dict() == populated.to_dict()
+        assert empty.counts == populated.counts
+
+    def test_merge_two_empties_stays_empty_and_renders(self):
+        a, b = Histogram(), Histogram()
+        a.merge(b)
+        assert a.count == 0
+        # to_dict must still produce finite JSON-safe numbers.
+        d = a.to_dict()
+        assert d["min"] == 0.0 and d["max"] == 0.0
+
     def test_to_dict_buckets_are_sparse_and_complete(self):
         hist = Histogram()
         for value in (0.001, 0.001, 5.0):

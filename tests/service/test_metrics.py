@@ -94,6 +94,23 @@ class TestRegistry:
         assert snap["histograms"]["t"]["count"] == 2
         assert snap["histograms"]["u"]["count"] == 1
 
+    def test_merge_disjoint_labeled_counters_stay_distinct(self):
+        parent, child = Metrics(), Metrics()
+        parent.inc("errors", 2, kind="parse")
+        parent.inc("errors", 1)  # the unlabeled series
+        child.inc("errors", 3, kind="budget")
+        child.inc("errors", 5, kind="parse", stage="retry")
+
+        parent.merge(child.snapshot())
+        counters = parent.snapshot()["counters"]
+        # Disjoint label sets merge as separate series — nothing is
+        # summed across labels, nothing collapses into the bare name.
+        assert counters["errors{kind=parse}"] == 2
+        assert counters["errors{kind=budget}"] == 3
+        assert counters["errors{kind=parse,stage=retry}"] == 5
+        assert counters["errors"] == 1
+        assert parent.get("errors", kind="budget") == 3
+
     def test_merge_accepts_registry_instances(self):
         parent, child = Metrics(), Metrics()
         child.inc("z", 7)

@@ -172,6 +172,54 @@ class TestAdoption:
         assert tracer.adopt([]) == []
         assert tracer.drain() == []
 
+    def test_adopt_preserves_drop_counts_across_two_hops(self):
+        # worker -> pool-process tracer -> parent: spans dropped at the
+        # source must stay visible at the end of the chain, or the
+        # parent would report a complete trace that silently is not.
+        worker = Tracer(max_spans=2)
+        worker.enable()
+        for _ in range(5):
+            with worker.span("w"):
+                pass
+        assert worker.dropped == 3
+
+        middle = Tracer()
+        middle.enable()
+        middle.adopt(worker.drain(), dropped=worker.dropped)
+        with middle.span("m"):
+            pass
+        assert middle.dropped == 3
+
+        parent = Tracer()
+        parent.enable()
+        parent.adopt(middle.drain(), dropped=middle.dropped)
+        assert parent.dropped == 3
+        assert len(parent.drain()) == 3  # 2 surviving w spans + m
+
+    def test_adopt_counts_drops_even_without_spans(self):
+        # A fully saturated worker ships zero spans but a real drop
+        # count; the early return for empty payloads must not skip it.
+        parent = Tracer()
+        parent.enable()
+        assert parent.adopt([], dropped=7) == []
+        assert parent.dropped == 7
+
+
+class TestActiveSpanNames:
+    def test_reports_innermost_open_span_per_thread(self):
+        import threading
+
+        tracer = Tracer()
+        tracer.enable()
+        ident = threading.get_ident()
+        assert ident not in tracer.active_span_names()
+        with tracer.span("outer"):
+            assert tracer.active_span_names()[ident] == "outer"
+            with tracer.span("inner"):
+                assert tracer.active_span_names()[ident] == "inner"
+            assert tracer.active_span_names()[ident] == "outer"
+        assert ident not in tracer.active_span_names()
+
 
 class TestGlobalHelpers:
     def test_tracing_context_restores_previous_state(self):
